@@ -1,0 +1,28 @@
+// Ablation (paper §5): how many synchronization points should the Charm-style
+// run use? More points give the measurement-based balancer more chances to
+// act (the first phase always runs with the initial imbalance) but each
+// barrier costs a global wait plus migration traffic.
+#include <iostream>
+
+#include "bench_support/synthetic.hpp"
+
+using namespace prema::bench;
+
+int main() {
+  std::cout << "Charm-style sync-point sweep (32 procs x 192 units, 50% heavy 2x)\n";
+  std::cout << "  sync points   makespan    sync%%    migrations\n";
+  for (const int points : {1, 2, 4, 8, 16}) {
+    SyntheticConfig cfg;
+    cfg.nprocs = 32;
+    cfg.units_per_proc = 192;  // divisible by every sweep value
+    cfg.charm_sync_points = points;
+    const auto r = run_synthetic(
+        points == 1 ? System::kCharmNoSync : System::kCharmSync, cfg);
+    char buf[120];
+    std::snprintf(buf, sizeof buf, "  %11d   %8.1f s   %6.2f   %10llu\n", points,
+                  r.makespan, r.sync_pct,
+                  static_cast<unsigned long long>(r.migrations));
+    std::cout << buf;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (paper §3.1): the Relative Cost Factor alpha of the Unified
+// Repartitioning Algorithm trades edge-cut quality against data movement in
+// |Ecut| + alpha * |Vmove|. Low alpha should favour the scratch-remap
+// candidate (fresh, low-cut partitions); high alpha the diffusive one
+// (minimal movement).
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "partition/adaptive.hpp"
+
+using namespace prema;
+
+int main() {
+  // A 48x48 grid, balanced 8-way, then a 12x12 corner becomes 8x hotter —
+  // the crack-tip drift scenario.
+  const auto base = graph::grid2d(48, 48);
+  part::PartitionOptions popts;
+  popts.k = 8;
+  const auto old_part = part::multilevel_kway(base, popts);
+
+  graph::GraphBuilder b(base.num_vertices());
+  for (graph::VertexId v = 0; v < base.num_vertices(); ++v) {
+    const bool hot = (v % 48) < 12 && (v / 48) < 12;
+    b.set_vertex_weight(v, hot ? 8.0 : 1.0);
+  }
+  for (graph::VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (const auto u : base.neighbors(v)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  const auto drifted = b.build();
+
+  std::printf("Unified repartitioning alpha sweep (48x48 grid, 8 parts, 8x hot corner)\n");
+  std::printf("  old partition: cut %.0f, imbalance %.3f\n",
+              graph::edge_cut(drifted, old_part),
+              graph::imbalance(drifted, old_part, 8));
+  std::printf("  %8s  %10s  %10s  %12s  %10s  %s\n", "alpha", "edge cut",
+              "|Vmove|", "unified", "imbalance", "winner");
+  for (const double alpha : {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    part::AdaptiveOptions aopts;
+    aopts.k = 8;
+    aopts.alpha = alpha;
+    const auto res = part::adaptive_repartition(drifted, old_part, aopts);
+    std::printf("  %8.2f  %10.0f  %10.0f  %12.1f  %10.3f  %s\n", alpha,
+                res.edge_cut, res.migration, res.cost,
+                graph::imbalance(drifted, res.partition, 8),
+                res.chose_scratch_remap ? "scratch-remap" : "diffusive");
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 6: 10% of units heavy, heavy weight = 1.2x light.
+#include "figure_main.hpp"
+
+int main() {
+  return prema::bench::run_figure(
+      "Figure 6: 10% initial imbalance, heavy = 1.2x light", 0.1, 300.0,
+      "(a) 751  (b) 750  (c) 610  (d) 753  (e) 716  (f) 751");
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "bench_support/synthetic.hpp"
+
+/// \file figure_main.hpp
+/// Shared driver for the Figure 3-6 reproduction binaries: runs all six
+/// panels of one benchmark configuration and prints the per-panel breakdowns
+/// plus the comparison table.
+
+namespace prema::bench {
+
+inline int run_figure(const char* title, double heavy_fraction,
+                      double heavy_mflop, const char* paper_values) {
+  SyntheticConfig cfg;
+  cfg.heavy_fraction = heavy_fraction;
+  cfg.heavy_mflop = heavy_mflop;
+
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "  128 procs x 864 units, heavy fraction "
+            << heavy_fraction * 100 << "%, heavy " << heavy_mflop
+            << " Mflop vs light " << cfg.light_mflop << " Mflop\n"
+            << "  paper's reported makespans: " << paper_values << "\n"
+            << "==========================================================\n";
+
+  std::vector<RunReport> reports;
+  for (const System sys :
+       {System::kNoLB, System::kPremaExplicit, System::kPremaImplicit,
+        System::kStopRepartition, System::kCharmNoSync, System::kCharmSync}) {
+    reports.push_back(run_synthetic(sys, cfg));
+    print_panel(std::cout, reports.back());
+    std::cout << "\n";
+  }
+  std::cout << "Summary\n";
+  print_comparison(std::cout, reports);
+  return 0;
+}
+
+}  // namespace prema::bench

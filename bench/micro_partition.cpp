@@ -1,0 +1,68 @@
+// Microbenchmarks of the partitioning substrate on real CPU time: the
+// multilevel k-way partitioner, the adaptive (unified) repartitioner, and
+// the refinement passes, on mesh-like grids.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "partition/adaptive.hpp"
+#include "partition/multilevel.hpp"
+
+namespace {
+
+using namespace prema;
+
+void BM_MultilevelKway(benchmark::State& state) {
+  const auto side = static_cast<graph::VertexId>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const auto g = graph::grid2d(side, side);
+  part::PartitionOptions opts;
+  opts.k = k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::multilevel_kway(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_MultilevelKway)->Args({32, 4})->Args({64, 8})->Args({128, 16});
+
+void BM_LptEdgeless(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  graph::GraphBuilder b(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    b.set_vertex_weight(v, (v % 7) + 1.0);
+  }
+  const auto g = b.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::lpt_partition(g, 128));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LptEdgeless)->Arg(10000)->Arg(110592);
+
+void BM_AdaptiveRepartition(benchmark::State& state) {
+  const auto side = static_cast<graph::VertexId>(state.range(0));
+  const auto base = graph::grid2d(side, side);
+  part::PartitionOptions popts;
+  popts.k = 8;
+  const auto old_part = part::multilevel_kway(base, popts);
+  graph::GraphBuilder b(base.num_vertices());
+  for (graph::VertexId v = 0; v < base.num_vertices(); ++v) {
+    b.set_vertex_weight(v, (v % side) < side / 4 ? 6.0 : 1.0);
+  }
+  for (graph::VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (const auto u : base.neighbors(v)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  const auto drifted = b.build();
+  part::AdaptiveOptions aopts;
+  aopts.k = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::adaptive_repartition(drifted, old_part, aopts));
+  }
+  state.SetItemsProcessed(state.iterations() * drifted.num_vertices());
+}
+BENCHMARK(BM_AdaptiveRepartition)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

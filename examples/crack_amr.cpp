@@ -1,0 +1,39 @@
+// Parallel adaptive mesh generation under PREMA — the paper's motivating
+// application (§1): a crack advances through a structure; the subdomains
+// around its tip suddenly need an order of magnitude more refinement, and
+// nobody can predict where it goes next. Work stealing with preemptive
+// message processing keeps the processors busy anyway.
+//
+// This example runs the full application (real advancing-front meshing
+// inside every subdomain) on a 16-processor emulated machine and compares
+// PREMA against no balancing.
+//
+// Run:  ./crack_amr
+#include <cstdio>
+
+#include "bench_support/mesh_app.hpp"
+
+using namespace prema::bench;
+
+int main() {
+  MeshAppConfig cfg;
+  cfg.nprocs = 16;
+  cfg.grid = 8;       // 512 subdomains
+  cfg.phases = 3;     // three crack steps
+
+  std::printf("crack growth through %d^3 subdomains on %d emulated processors,"
+              " %d phases\n\n",
+              cfg.grid, cfg.nprocs, cfg.phases);
+  for (const MeshSystem sys : {MeshSystem::kNoLB, MeshSystem::kPremaImplicit}) {
+    const MeshAppReport r = run_mesh_app(sys, cfg);
+    std::printf("%-32s\n", r.label.c_str());
+    std::printf("  makespan          %8.2f emulated seconds\n", r.makespan);
+    std::printf("  elements built    %lld tetrahedra over %lld refinements\n",
+                static_cast<long long>(r.total_tets),
+                static_cast<long long>(r.refinements));
+    std::printf("  migrations        %llu subdomains moved\n",
+                static_cast<unsigned long long>(r.migrations));
+    std::printf("  runtime overhead  %.3f%% of computation\n\n", r.overhead_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dmcs/message.hpp"
+
+/// \file handler_registry.hpp
+/// Maps handler ids to callable handlers. Handler ids must agree across all
+/// processors of a machine (they travel in message headers), so registration
+/// is by name: registering the same name twice returns the same id only if the
+/// registration is marked idempotent-safe via lookup, otherwise it aborts.
+
+namespace prema::dmcs {
+
+class Node;
+
+/// An active-message handler. Runs on the destination processor with the
+/// destination's Node context; may send further messages and charge compute.
+using Handler = std::function<void(Node&, Message&&)>;
+
+class HandlerRegistry {
+ public:
+  /// Register `fn` under `name` and return its id. Aborts on duplicate names:
+  /// a machine's handler set must be assembled exactly once.
+  HandlerId add(const std::string& name, Handler fn);
+
+  /// Id of a previously registered handler; aborts if missing.
+  [[nodiscard]] HandlerId id_of(const std::string& name) const;
+
+  /// True if `name` has been registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// The handler registered under `id`; aborts if out of range.
+  [[nodiscard]] const Handler& handler(HandlerId id) const;
+
+  /// Name registered under `id` (for diagnostics).
+  [[nodiscard]] const std::string& name_of(HandlerId id) const;
+
+  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+
+ private:
+  std::vector<Handler> handlers_;        // index = id - 1 (0 is kNoHandler)
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, HandlerId> by_name_;
+};
+
+}  // namespace prema::dmcs

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "dmcs/node.hpp"
+
+/// \file machine.hpp
+/// A machine = N processors + an interconnect + a handler registry. Two
+/// implementations: SimMachine (discrete-event emulation of the paper's
+/// cluster, any nprocs) and ThreadMachine (real threads, laptop scale).
+
+namespace prema::dmcs {
+
+/// Builds the per-node Program instance for rank `p`. Most runtimes return
+/// the same subclass for every rank; SPMD style.
+using ProgramFactory = std::function<std::unique_ptr<Program>(ProcId p)>;
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  [[nodiscard]] virtual int nprocs() const = 0;
+  [[nodiscard]] virtual Node& node(ProcId p) = 0;
+  [[nodiscard]] virtual HandlerRegistry& registry() = 0;
+
+  /// Run a program to quiescence: instantiate one Program per node, call
+  /// main() on every node, then drive message delivery and service until no
+  /// node has work and no messages are in flight. Returns the makespan (time
+  /// at which the last processor went quiet).
+  virtual double run(const ProgramFactory& factory) = 0;
+
+  /// Ledger of processor `p` after (or during) a run.
+  [[nodiscard]] virtual const util::TimeLedger& ledger(ProcId p) const = 0;
+};
+
+}  // namespace prema::dmcs

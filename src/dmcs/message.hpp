@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file message.hpp
+/// The active-message unit of the Data Movement and Control Substrate
+/// (DMCS, Barker et al. 2002). A message names a handler to run at the
+/// destination and carries an opaque payload. The `kind` tag is how PREMA
+/// separates system-generated (load balancing) traffic from application
+/// traffic: system messages may be processed preemptively by the polling
+/// thread, application messages only at application poll points (paper §4.2).
+
+namespace prema::dmcs {
+
+/// Identifies a registered handler; stable across processors because every
+/// rank registers the same handlers in the same order.
+using HandlerId = std::uint32_t;
+
+inline constexpr HandlerId kNoHandler = 0;
+
+enum class MsgKind : std::uint8_t {
+  kApp = 0,    ///< application message; delivered at poll points
+  kSystem = 1  ///< runtime/load-balancer message; may be delivered preemptively
+};
+
+struct Message {
+  HandlerId handler = kNoHandler;
+  ProcId src = kNoProc;
+  MsgKind kind = MsgKind::kApp;
+  std::vector<std::uint8_t> payload;
+  /// Local timer wakeup (Node::send_self_after): never crosses the network
+  /// and is excluded from the message counts quiescence detection observes.
+  bool internal = false;
+
+  [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
+};
+
+}  // namespace prema::dmcs

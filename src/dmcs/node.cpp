@@ -1,0 +1,10 @@
+#include "dmcs/node.hpp"
+
+namespace prema::dmcs {
+
+void Node::dispatch(Message&& msg) {
+  const Handler& h = registry().handler(msg.handler);
+  h(*this, std::move(msg));
+}
+
+}  // namespace prema::dmcs

@@ -1,0 +1,299 @@
+#include "dmcs/sim_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace prema::dmcs {
+
+using util::TimeCategory;
+
+SimNode::SimNode(SimMachine& machine, ProcId rank, int nprocs)
+    : Node(rank, nprocs),
+      machine_(machine),
+      eng_(machine.engine()),
+      proc_(machine.engine().proc(rank)),
+      channel_clock_(static_cast<std::size_t>(nprocs), 0.0) {}
+
+double SimNode::now() const { return proc_.clock(); }
+
+sim::SimTime SimNode::clock() const { return proc_.clock(); }
+
+util::Rng& SimNode::rng() { return proc_.rng(); }
+
+util::TimeLedger& SimNode::ledger() { return proc_.ledger(); }
+
+const PollingConfig& SimNode::polling() const { return machine_.polling(); }
+
+HandlerRegistry& SimNode::registry() { return machine_.registry(); }
+
+void SimNode::start(Program* program) { program_ = program; }
+
+void SimNode::send(ProcId dst, Message msg) {
+  PREMA_CHECK_MSG(dst >= 0 && dst < nprocs_, "send to invalid rank");
+  msg.src = rank_;
+  if (capturing_) {
+    // The sender is logically still inside a work unit whose span ends at the
+    // activity's completion; hold the message until then.
+    deferred_sends_.emplace_back(dst, std::move(msg));
+    return;
+  }
+  do_send(dst, std::move(msg));
+}
+
+void SimNode::do_send(ProcId dst, Message&& msg) {
+  const auto& net = machine_.config().net;
+  proc_.advance(TimeCategory::kMessaging, net.send_cpu(msg.size_bytes()));
+  ++stats_.sent;
+  const double transfer = dst == rank_ ? 1e-9 : net.transfer_time(msg.size_bytes());
+  sim::SimTime arrival = proc_.clock() + transfer;
+  auto& chan = channel_clock_[static_cast<std::size_t>(dst)];
+  arrival = std::max(arrival, chan + 1e-12);
+  chan = arrival;
+  SimNode& target = machine_.sim_node(dst);
+  eng_.at(arrival, [&target, m = std::move(msg)]() mutable {
+    target.on_arrival(std::move(m));
+  });
+}
+
+void SimNode::send_self_after(double delay_s, Message msg) {
+  PREMA_CHECK_MSG(delay_s >= 0.0, "negative timer delay");
+  msg.src = rank_;
+  msg.internal = true;
+  const sim::SimTime arrival =
+      std::max(proc_.clock(), eng_.now()) + std::max(delay_s, 1e-9);
+  auto id_box = std::make_shared<sim::EventId>(sim::kNoEvent);
+  *id_box = eng_.at(arrival, [this, id_box, m = std::move(msg)]() mutable {
+    timer_events_.erase(*id_box);
+    on_arrival(std::move(m));
+  });
+  timer_events_.insert(*id_box);
+}
+
+void SimNode::cancel_timers() {
+  for (const auto id : timer_events_) eng_.cancel(id);
+  timer_events_.clear();
+}
+
+void SimNode::flush_deferred_sends() {
+  auto sends = std::move(deferred_sends_);
+  deferred_sends_.clear();
+  for (auto& [dst, msg] : sends) do_send(dst, std::move(msg));
+}
+
+void SimNode::compute(double mflop, TimeCategory cat) {
+  compute_seconds(machine_.config().compute_seconds(mflop), cat);
+}
+
+void SimNode::compute_seconds(double seconds, TimeCategory cat) {
+  PREMA_CHECK_MSG(seconds >= 0.0, "negative compute cost");
+  if (capturing_) {
+    captured_s_ += seconds;
+    return;
+  }
+  proc_.advance(cat, seconds);
+}
+
+void SimNode::on_arrival(Message&& msg) {
+  if (!msg.internal) ++stats_.received;
+  const bool system = msg.kind == MsgKind::kSystem;
+  inbox_.push_back(std::move(msg));
+  if (active_) {
+    if (system) schedule_interrupt(eng_.now());
+    return;
+  }
+  ensure_service(std::max(eng_.now(), proc_.clock()));
+}
+
+void SimNode::ensure_service(sim::SimTime t) {
+  if (pending_service_ != sim::kNoEvent) {
+    if (t >= pending_service_time_) return;
+    eng_.cancel(pending_service_);
+  }
+  pending_service_time_ = t;
+  pending_service_ = eng_.at(t, [this, t] { do_service(t); });
+}
+
+void SimNode::drain_inbox() {
+  while (!inbox_.empty()) {
+    Message msg = std::move(inbox_.front());
+    inbox_.pop_front();
+    proc_.advance(TimeCategory::kMessaging,
+                  machine_.config().net.recv_cpu(msg.size_bytes()));
+    if (msg.kind == MsgKind::kSystem) {
+      program_->deliver_system(*this, std::move(msg));
+    } else {
+      program_->deliver_app(*this, std::move(msg));
+    }
+  }
+}
+
+void SimNode::do_service(sim::SimTime t) {
+  pending_service_ = sim::kNoEvent;
+  if (active_) return;  // activity completion will run the next pass
+  proc_.catch_up(t, wait_cat_);
+  drain_inbox();
+  while (!active_) {
+    if (!program_->service(*this)) break;
+  }
+  if (active_) return;
+  PREMA_CHECK_MSG(inbox_.empty(), "inbox grew during a sequential service pass");
+  program_->on_idle(*this);
+}
+
+void SimNode::execute(Message&& msg, std::function<void()> on_complete) {
+  PREMA_CHECK_MSG(!active_, "execute() while a work unit is already active");
+  PREMA_CHECK_MSG(!capturing_, "execute() from inside a work-unit body");
+  ++stats_.work_units_executed;
+
+  capturing_ = true;
+  captured_s_ = 0.0;
+  dispatch(std::move(msg));
+  capturing_ = false;
+  const double duration = captured_s_;
+
+  if (duration <= 0.0) {
+    flush_deferred_sends();
+    if (on_complete) on_complete();
+    return;
+  }
+
+  active_ = true;
+  ++activity_gen_;
+  remaining_s_ = duration;
+  total_duration_s_ = duration;
+  tick_base_ = proc_.clock();
+  interrupts_ = 0;
+  on_complete_ = std::move(on_complete);
+  end_event_ = eng_.at(proc_.clock() + duration,
+                       [this, gen = activity_gen_] { finish_activity(gen); });
+  // System messages that were already queued when the activity began (e.g.
+  // arrived during main()) are picked up at the first polling tick.
+  if (polling().mode == PollingMode::kPreemptive && inbox_has_system()) {
+    schedule_interrupt(proc_.clock());
+  }
+}
+
+bool SimNode::inbox_has_system() const {
+  return std::any_of(inbox_.begin(), inbox_.end(),
+                     [](const Message& m) { return m.kind == MsgKind::kSystem; });
+}
+
+void SimNode::schedule_interrupt(sim::SimTime arrival) {
+  if (polling().mode != PollingMode::kPreemptive) return;
+  const double period = polling().interval_s;
+  double k = std::ceil((arrival - tick_base_) / period);
+  if (k < 1.0) k = 1.0;
+  const sim::SimTime tick = tick_base_ + k * period;
+  if (tick >= proc_.clock() + remaining_s_) return;  // handled at completion
+  eng_.at(tick, [this, gen = activity_gen_] { on_interrupt(gen); });
+}
+
+void SimNode::on_interrupt(std::uint64_t gen) {
+  if (!active_ || gen != activity_gen_) return;
+  if (!inbox_has_system()) return;  // an earlier tick already serviced them
+
+  const double elapsed = std::max(0.0, eng_.now() - proc_.clock());
+  PREMA_CHECK_MSG(elapsed <= remaining_s_ + 1e-9, "interrupt past activity end");
+  proc_.advance(TimeCategory::kComputation, elapsed);
+  remaining_s_ = std::max(0.0, remaining_s_ - elapsed);
+
+  proc_.advance(TimeCategory::kPolling, polling().tick_cost_s);
+  ++interrupts_;
+
+  // Hand every queued system message to the program; application messages
+  // stay queued for the next service pass (single-threaded model preserved).
+  for (auto it = inbox_.begin(); it != inbox_.end();) {
+    if (it->kind != MsgKind::kSystem) {
+      ++it;
+      continue;
+    }
+    Message msg = std::move(*it);
+    it = inbox_.erase(it);
+    proc_.advance(TimeCategory::kMessaging,
+                  machine_.config().net.recv_cpu(msg.size_bytes()));
+    program_->deliver_system(*this, std::move(msg));
+  }
+
+  eng_.cancel(end_event_);
+  end_event_ = eng_.at(proc_.clock() + remaining_s_,
+                       [this, gen] { finish_activity(gen); });
+}
+
+void SimNode::finish_activity(std::uint64_t gen) {
+  if (!active_ || gen != activity_gen_) return;
+  end_event_ = sim::kNoEvent;
+  proc_.advance(TimeCategory::kComputation, remaining_s_);
+  remaining_s_ = 0.0;
+
+  if (polling().mode == PollingMode::kPreemptive) {
+    const auto ticks =
+        static_cast<int>(std::floor(total_duration_s_ / polling().interval_s));
+    const int silent = std::max(0, ticks - interrupts_);
+    if (silent > 0) {
+      proc_.advance(TimeCategory::kPolling,
+                    static_cast<double>(silent) * polling().silent_tick_cost_s);
+    }
+  }
+
+  active_ = false;
+  flush_deferred_sends();
+  auto done = std::move(on_complete_);
+  on_complete_ = nullptr;
+  if (done) done();
+  do_service(proc_.clock());
+}
+
+SimMachine::SimMachine(sim::MachineConfig cfg, PollingConfig polling)
+    : engine_(cfg), polling_(polling) {
+  nodes_.reserve(static_cast<std::size_t>(cfg.nprocs));
+  for (ProcId p = 0; p < cfg.nprocs; ++p) {
+    nodes_.push_back(std::make_unique<SimNode>(*this, p, cfg.nprocs));
+  }
+}
+
+SimNode& SimMachine::sim_node(ProcId p) {
+  PREMA_CHECK_MSG(p >= 0 && p < nprocs(), "node id out of range");
+  return *nodes_[static_cast<std::size_t>(p)];
+}
+
+const util::TimeLedger& SimMachine::ledger(ProcId p) const {
+  return engine_.proc(p).ledger();
+}
+
+double SimMachine::run(const ProgramFactory& factory) {
+  PREMA_CHECK_MSG(!ran_, "SimMachine::run may only be called once");
+  ran_ = true;
+
+  programs_.reserve(nodes_.size());
+  for (ProcId p = 0; p < nprocs(); ++p) {
+    programs_.push_back(factory(p));
+    nodes_[static_cast<std::size_t>(p)]->start(programs_.back().get());
+  }
+  for (ProcId p = 0; p < nprocs(); ++p) {
+    SimNode* n = nodes_[static_cast<std::size_t>(p)].get();
+    engine_.at(0.0, [n] {
+      n->program_->main(*n);
+      n->do_service(n->proc_.clock());
+    });
+  }
+
+  run_stats_ = engine_.run(max_events_);
+  PREMA_CHECK_MSG(!run_stats_.hit_event_limit,
+                  "emulation exceeded the event budget (protocol livelock?)");
+
+  sim::SimTime makespan = 0.0;
+  for (ProcId p = 0; p < nprocs(); ++p) {
+    makespan = std::max(makespan, nodes_[static_cast<std::size_t>(p)]->clock());
+  }
+  for (ProcId p = 0; p < nprocs(); ++p) {
+    SimNode& n = *nodes_[static_cast<std::size_t>(p)];
+    engine_.proc(p).catch_up(makespan, n.wait_category());
+  }
+  return makespan;
+}
+
+}  // namespace prema::dmcs

@@ -1,0 +1,247 @@
+#include "dmcs/thread_machine.hpp"
+
+#include <chrono>
+
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace prema::dmcs {
+
+using util::TimeCategory;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Busy-spin for `seconds` (durations here are micro/milliseconds; sleeping
+/// would be too coarse and would free the core, which misrepresents compute).
+void spin_for(double seconds) {
+  const auto until = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(seconds));
+  while (Clock::now() < until) {
+    // burn
+  }
+}
+
+}  // namespace
+
+ThreadNode::ThreadNode(ThreadMachine& machine, ProcId rank, int nprocs,
+                       std::uint64_t seed)
+    : Node(rank, nprocs), machine_(machine), rng_(seed) {}
+
+double ThreadNode::now() const { return machine_.elapsed_s(); }
+
+const PollingConfig& ThreadNode::polling() const { return machine_.config().polling; }
+
+HandlerRegistry& ThreadNode::registry() { return machine_.registry(); }
+
+void ThreadNode::send(ProcId dst, Message msg) {
+  PREMA_CHECK_MSG(dst >= 0 && dst < nprocs_, "send to invalid rank");
+  msg.src = rank_;
+  ++stats_.sent;
+  machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
+  static_cast<ThreadNode&>(machine_.node(dst)).enqueue(std::move(msg));
+}
+
+void ThreadNode::send_self_after(double delay_s, Message msg) {
+  msg.src = rank_;
+  msg.internal = true;
+  machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
+  const auto due = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(delay_s));
+  std::lock_guard<std::mutex> g(timed_mutex_);
+  timed_.emplace_back(due, std::move(msg));
+}
+
+void ThreadNode::cancel_timers() {
+  std::lock_guard<std::mutex> g(timed_mutex_);
+  machine_.inflight_.fetch_sub(static_cast<std::int64_t>(timed_.size()),
+                               std::memory_order_acq_rel);
+  timed_.clear();
+}
+
+void ThreadNode::drain_due_timers() {
+  std::vector<Message> due;
+  {
+    std::lock_guard<std::mutex> g(timed_mutex_);
+    const auto now = Clock::now();
+    for (auto it = timed_.begin(); it != timed_.end();) {
+      if (it->first <= now) {
+        due.push_back(std::move(it->second));
+        it = timed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& msg : due) enqueue(std::move(msg));
+}
+
+void ThreadNode::enqueue(Message&& msg) {
+  {
+    std::lock_guard<std::mutex> g(inbox_mutex_);
+    inbox_.push_back(std::move(msg));
+  }
+  inbox_cv_.notify_all();
+}
+
+void ThreadNode::compute(double mflop, TimeCategory cat) {
+  compute_seconds(mflop / machine_.config().mflops, cat);
+}
+
+void ThreadNode::compute_seconds(double seconds, TimeCategory cat) {
+  PREMA_CHECK_MSG(seconds >= 0.0, "negative compute cost");
+  spin_for(seconds);
+  ledger_.charge(cat, seconds);
+}
+
+void ThreadNode::execute(Message&& msg, std::function<void()> on_complete) {
+  // On the real machine the body simply runs; preemption is provided by the
+  // concurrently running polling thread, not by the backend.
+  executing_.store(true, std::memory_order_release);
+  ++stats_.work_units_executed;
+  dispatch(std::move(msg));
+  executing_.store(false, std::memory_order_release);
+  if (on_complete) on_complete();
+}
+
+int ThreadNode::drain(bool system_only) {
+  int handled = 0;
+  for (;;) {
+    Message msg;
+    {
+      std::lock_guard<std::mutex> g(inbox_mutex_);
+      if (system_only) {
+        auto it = inbox_.begin();
+        while (it != inbox_.end() && it->kind != MsgKind::kSystem) ++it;
+        if (it == inbox_.end()) break;
+        msg = std::move(*it);
+        inbox_.erase(it);
+      } else {
+        if (inbox_.empty()) break;
+        msg = std::move(inbox_.front());
+        inbox_.pop_front();
+      }
+    }
+    if (!msg.internal) ++stats_.received;
+    if (msg.kind == MsgKind::kSystem) {
+      program_->deliver_system(*this, std::move(msg));
+    } else {
+      program_->deliver_app(*this, std::move(msg));
+    }
+    machine_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    ++handled;
+  }
+  return handled;
+}
+
+void ThreadNode::worker_loop() {
+  program_->main(*this);
+  while (!machine_.done_.load(std::memory_order_acquire)) {
+    drain_due_timers();
+    const auto t0 = Clock::now();
+    const int handled = drain(/*system_only=*/false);
+    if (handled > 0) {
+      ledger_.charge(TimeCategory::kMessaging, seconds_between(t0, Clock::now()));
+    }
+    const auto t1 = Clock::now();
+    const bool did = program_->service(*this);
+    if (!did) ledger_.charge(TimeCategory::kScheduling, seconds_between(t1, Clock::now()));
+    if (did || handled > 0) {
+      idle_.store(false, std::memory_order_release);
+      continue;
+    }
+    program_->on_idle(*this);
+    idle_.store(true, std::memory_order_release);
+    const auto t2 = Clock::now();
+    std::unique_lock<std::mutex> g(inbox_mutex_);
+    inbox_cv_.wait_for(g, std::chrono::milliseconds(1),
+                       [this] { return !inbox_.empty(); });
+    g.unlock();
+    ledger_.charge(TimeCategory::kIdle, seconds_between(t2, Clock::now()));
+    idle_.store(false, std::memory_order_release);
+  }
+}
+
+void ThreadNode::poller_loop() {
+  const auto period = std::chrono::duration<double>(polling().interval_s);
+  while (!machine_.done_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    const auto t0 = Clock::now();
+    const int handled = drain(/*system_only=*/true);
+    if (handled > 0) {
+      ledger_.charge(TimeCategory::kPolling, seconds_between(t0, Clock::now()));
+    }
+  }
+}
+
+ThreadMachine::ThreadMachine(ThreadConfig cfg) : cfg_(cfg) {
+  PREMA_CHECK_MSG(cfg_.nprocs > 0, "machine needs at least one processor");
+  util::SplitMix64 sm(cfg_.seed);
+  nodes_.reserve(static_cast<std::size_t>(cfg_.nprocs));
+  for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+    nodes_.push_back(std::make_unique<ThreadNode>(*this, p, cfg_.nprocs, sm.next()));
+  }
+}
+
+Node& ThreadMachine::node(ProcId p) {
+  PREMA_CHECK_MSG(p >= 0 && p < nprocs(), "node id out of range");
+  return *nodes_[static_cast<std::size_t>(p)];
+}
+
+const util::TimeLedger& ThreadMachine::ledger(ProcId p) const {
+  PREMA_CHECK_MSG(p >= 0 && p < nprocs(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(p)]->ledger_;
+}
+
+double ThreadMachine::elapsed_s() const {
+  return seconds_between(start_, Clock::now());
+}
+
+bool ThreadMachine::quiescent() const {
+  if (inflight_.load(std::memory_order_acquire) != 0) return false;
+  for (const auto& n : nodes_) {
+    if (!n->idle_.load(std::memory_order_acquire)) return false;
+  }
+  // Check in-flight again: a message sent while we scanned the idle flags
+  // would have bumped the counter before waking its target.
+  return inflight_.load(std::memory_order_acquire) == 0;
+}
+
+double ThreadMachine::run(const ProgramFactory& factory) {
+  PREMA_CHECK_MSG(!ran_, "ThreadMachine::run may only be called once");
+  ran_ = true;
+  start_ = Clock::now();
+
+  programs_.reserve(nodes_.size());
+  for (ProcId p = 0; p < nprocs(); ++p) {
+    programs_.push_back(factory(p));
+    nodes_[static_cast<std::size_t>(p)]->program_ = programs_.back().get();
+  }
+  for (auto& n : nodes_) {
+    n->worker_ = std::thread([node = n.get()] { node->worker_loop(); });
+    if (cfg_.polling.mode == PollingMode::kPreemptive) {
+      n->poller_ = std::thread([node = n.get()] { node->poller_loop(); });
+    }
+  }
+
+  // Quiescence must hold across two observations separated by a full idle
+  // period before we declare the run finished.
+  int stable = 0;
+  while (stable < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    stable = quiescent() ? stable + 1 : 0;
+  }
+  done_.store(true, std::memory_order_release);
+  for (auto& n : nodes_) n->inbox_cv_.notify_all();
+  for (auto& n : nodes_) {
+    if (n->worker_.joinable()) n->worker_.join();
+    if (n->poller_.joinable()) n->poller_.join();
+  }
+  return elapsed_s();
+}
+
+}  // namespace prema::dmcs

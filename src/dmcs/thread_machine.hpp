@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dmcs/machine.hpp"
+
+/// \file thread_machine.hpp
+/// DMCS backend on real OS threads: one worker thread per virtual processor,
+/// shared-memory mailboxes as the interconnect, and — in preemptive polling
+/// mode — a real polling thread per processor that wakes on a fixed period
+/// and handles pending *system* messages concurrently with the worker, just
+/// as PREMA's implicit load balancing does (paper §4.2).
+///
+/// This backend exists to demonstrate that the protocol stack (MOL, ILB,
+/// the policies) is real executable code, not simulation-only logic: tests
+/// and examples run it at laptop scale. Paper-scale experiments use
+/// SimMachine. Program hooks that touch state shared with the polling thread
+/// must guard it with Node::lock_state(); on the emulated machine that lock
+/// is uncontended and free.
+
+namespace prema::dmcs {
+
+class ThreadMachine;
+
+struct ThreadConfig {
+  int nprocs = 4;
+  /// Rate used to convert Node::compute(mflop) into spin time.
+  double mflops = 2000.0;
+  PollingConfig polling;
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+class ThreadNode final : public Node {
+ public:
+  ThreadNode(ThreadMachine& machine, ProcId rank, int nprocs, std::uint64_t seed);
+
+  [[nodiscard]] double now() const override;
+  [[nodiscard]] util::Rng& rng() override { return rng_; }
+  [[nodiscard]] util::TimeLedger& ledger() override { return ledger_; }
+  [[nodiscard]] const PollingConfig& polling() const override;
+  [[nodiscard]] HandlerRegistry& registry() override;
+
+  void send(ProcId dst, Message msg) override;
+  void send_self_after(double delay_s, Message msg) override;
+  void cancel_timers() override;
+  void compute(double mflop, util::TimeCategory cat) override;
+  void compute_seconds(double seconds, util::TimeCategory cat) override;
+  void execute(Message&& msg, std::function<void()> on_complete) override;
+  [[nodiscard]] bool executing() const override { return executing_.load(); }
+  [[nodiscard]] std::size_t inbox_size() const override {
+    std::lock_guard<std::mutex> g(const_cast<std::mutex&>(inbox_mutex_));
+    return inbox_.size();
+  }
+
+ private:
+  friend class ThreadMachine;
+
+  void enqueue(Message&& msg);
+  void worker_loop();
+  void poller_loop();
+  /// Drain due messages; if `system_only`, leave application messages queued.
+  /// Returns the number of messages handled.
+  int drain(bool system_only);
+
+  ThreadMachine& machine_;
+  util::Rng rng_;
+  util::TimeLedger ledger_;
+
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  std::deque<Message> inbox_;
+
+  /// Timer messages (send_self_after) waiting for their due time; moved into
+  /// the inbox by the worker loop.
+  std::mutex timed_mutex_;
+  std::vector<std::pair<std::chrono::steady_clock::time_point, Message>> timed_;
+
+  void drain_due_timers();
+
+  Program* program_ = nullptr;
+  std::atomic<bool> executing_{false};
+  std::atomic<bool> idle_{false};
+
+  std::thread worker_;
+  std::thread poller_;
+};
+
+class ThreadMachine final : public Machine {
+ public:
+  explicit ThreadMachine(ThreadConfig cfg);
+
+  [[nodiscard]] int nprocs() const override { return cfg_.nprocs; }
+  [[nodiscard]] Node& node(ProcId p) override;
+  [[nodiscard]] HandlerRegistry& registry() override { return registry_; }
+  double run(const ProgramFactory& factory) override;
+  [[nodiscard]] const util::TimeLedger& ledger(ProcId p) const override;
+
+  [[nodiscard]] const ThreadConfig& config() const { return cfg_; }
+  [[nodiscard]] double elapsed_s() const;
+
+ private:
+  friend class ThreadNode;
+
+  [[nodiscard]] bool quiescent() const;
+
+  ThreadConfig cfg_;
+  HandlerRegistry registry_;
+  std::vector<std::unique_ptr<ThreadNode>> nodes_;
+  std::vector<std::unique_ptr<Program>> programs_;
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<bool> done_{false};
+  std::chrono::steady_clock::time_point start_;
+  bool ran_ = false;
+};
+
+}  // namespace prema::dmcs

@@ -1,0 +1,89 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace prema::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeIdx> xadj, std::vector<VertexId> adjncy,
+                   std::vector<double> vwgt, std::vector<double> adjwgt)
+    : xadj_(std::move(xadj)),
+      adjncy_(std::move(adjncy)),
+      vwgt_(std::move(vwgt)),
+      adjwgt_(std::move(adjwgt)) {
+  PREMA_CHECK_MSG(xadj_.size() == vwgt_.size() + 1, "xadj size mismatch");
+  PREMA_CHECK_MSG(adjncy_.size() == adjwgt_.size(), "adjwgt size mismatch");
+  PREMA_CHECK_MSG(xadj_.front() == 0 &&
+                      xadj_.back() == static_cast<EdgeIdx>(adjncy_.size()),
+                  "xadj bounds mismatch");
+}
+
+CsrGraph CsrGraph::edgeless(VertexId n, double weight) {
+  CsrGraph g;
+  g.xadj_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.vwgt_.assign(static_cast<std::size_t>(n), weight);
+  return g;
+}
+
+double CsrGraph::total_vertex_weight() const {
+  double total = 0.0;
+  for (double w : vwgt_) total += w;
+  return total;
+}
+
+void CsrGraph::validate() const {
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    PREMA_CHECK_MSG(xadj_[static_cast<std::size_t>(v)] <=
+                        xadj_[static_cast<std::size_t>(v) + 1],
+                    "xadj not monotone");
+    const auto nbrs = neighbors(v);
+    const auto wgts = edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      PREMA_CHECK_MSG(u >= 0 && u < n, "neighbor out of range");
+      PREMA_CHECK_MSG(u != v, "self loop");
+      // Find the reverse edge with equal weight.
+      const auto back = neighbors(u);
+      const auto back_w = edge_weights(u);
+      bool found = false;
+      for (std::size_t j = 0; j < back.size(); ++j) {
+        if (back[j] == v && back_w[j] == wgts[i]) {
+          found = true;
+          break;
+        }
+      }
+      PREMA_CHECK_MSG(found, "asymmetric adjacency");
+    }
+  }
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, double w) {
+  PREMA_CHECK_MSG(u != v, "self loops are not allowed");
+  PREMA_CHECK_MSG(u >= 0 && v >= 0 &&
+                      static_cast<std::size_t>(u) < adj_.size() &&
+                      static_cast<std::size_t>(v) < adj_.size(),
+                  "edge endpoint out of range");
+  adj_[static_cast<std::size_t>(u)].emplace_back(v, w);
+  adj_[static_cast<std::size_t>(v)].emplace_back(u, w);
+}
+
+CsrGraph GraphBuilder::build() const {
+  const auto n = adj_.size();
+  std::vector<EdgeIdx> xadj(n + 1, 0);
+  std::vector<VertexId> adjncy;
+  std::vector<double> adjwgt;
+  for (std::size_t v = 0; v < n; ++v) {
+    // Merge duplicates deterministically (sorted by neighbor id).
+    std::map<VertexId, double> merged;
+    for (const auto& [u, w] : adj_[v]) merged[u] += w;
+    xadj[v + 1] = xadj[v] + static_cast<EdgeIdx>(merged.size());
+    for (const auto& [u, w] : merged) {
+      adjncy.push_back(u);
+      adjwgt.push_back(w);
+    }
+  }
+  return CsrGraph(std::move(xadj), std::move(adjncy), vwgt_, std::move(adjwgt));
+}
+
+}  // namespace prema::graph

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+/// \file csr_graph.hpp
+/// Compressed-sparse-row graphs with vertex and edge weights — the input
+/// format of the multilevel partitioner (src/partition), mirroring what
+/// METIS-family tools consume. Vertices model work units / mesh subdomains;
+/// vertex weights model computational load; edge weights model communication
+/// volume between neighbouring units.
+
+namespace prema::graph {
+
+using VertexId = std::int32_t;
+using EdgeIdx = std::int64_t;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from CSR arrays. `xadj` has n+1 entries; `adjncy[xadj[v]..xadj[v+1])`
+  /// are v's neighbours with parallel `adjwgt` weights. The adjacency must be
+  /// symmetric (u in adj(v) <=> v in adj(u), equal weights) — checked by
+  /// validate().
+  CsrGraph(std::vector<EdgeIdx> xadj, std::vector<VertexId> adjncy,
+           std::vector<double> vwgt, std::vector<double> adjwgt);
+
+  /// Graph with n vertices and no edges (unit weights).
+  static CsrGraph edgeless(VertexId n, double weight = 1.0);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(vwgt_.size());
+  }
+  [[nodiscard]] EdgeIdx num_edges() const {
+    return static_cast<EdgeIdx>(adjncy_.size()) / 2;  // stored both directions
+  }
+
+  [[nodiscard]] double vertex_weight(VertexId v) const {
+    return vwgt_[static_cast<std::size_t>(v)];
+  }
+  void set_vertex_weight(VertexId v, double w) {
+    vwgt_[static_cast<std::size_t>(v)] = w;
+  }
+  [[nodiscard]] double total_vertex_weight() const;
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjncy_.data() + xadj_[static_cast<std::size_t>(v)],
+            adjncy_.data() + xadj_[static_cast<std::size_t>(v) + 1]};
+  }
+  [[nodiscard]] std::span<const double> edge_weights(VertexId v) const {
+    return {adjwgt_.data() + xadj_[static_cast<std::size_t>(v)],
+            adjwgt_.data() + xadj_[static_cast<std::size_t>(v) + 1]};
+  }
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return static_cast<std::size_t>(xadj_[static_cast<std::size_t>(v) + 1] -
+                                    xadj_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Abort if the CSR structure is inconsistent or asymmetric.
+  void validate() const;
+
+ private:
+  std::vector<EdgeIdx> xadj_{0};
+  std::vector<VertexId> adjncy_;
+  std::vector<double> vwgt_;
+  std::vector<double> adjwgt_;
+};
+
+/// Incremental builder: add undirected edges in any order, then build CSR.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId n, double default_vwgt = 1.0)
+      : vwgt_(static_cast<std::size_t>(n), default_vwgt),
+        adj_(static_cast<std::size_t>(n)) {}
+
+  void set_vertex_weight(VertexId v, double w) {
+    vwgt_[static_cast<std::size_t>(v)] = w;
+  }
+
+  /// Add undirected edge {u, v} with weight `w`. Duplicate edges are merged
+  /// by summing weights at build time. Self-loops are rejected.
+  void add_edge(VertexId u, VertexId v, double w = 1.0);
+
+  [[nodiscard]] CsrGraph build() const;
+
+ private:
+  std::vector<double> vwgt_;
+  std::vector<std::vector<std::pair<VertexId, double>>> adj_;
+};
+
+}  // namespace prema::graph

@@ -1,0 +1,81 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace prema::graph {
+
+CsrGraph grid2d(VertexId w, VertexId h, double vwgt, double ewgt) {
+  PREMA_CHECK(w > 0 && h > 0);
+  GraphBuilder b(w * h, vwgt);
+  auto id = [w](VertexId x, VertexId y) { return y * w + x; };
+  for (VertexId y = 0; y < h; ++y) {
+    for (VertexId x = 0; x < w; ++x) {
+      if (x + 1 < w) b.add_edge(id(x, y), id(x + 1, y), ewgt);
+      if (y + 1 < h) b.add_edge(id(x, y), id(x, y + 1), ewgt);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph grid3d(VertexId w, VertexId h, VertexId d, double vwgt, double ewgt) {
+  PREMA_CHECK(w > 0 && h > 0 && d > 0);
+  GraphBuilder b(w * h * d, vwgt);
+  auto id = [w, h](VertexId x, VertexId y, VertexId z) {
+    return (z * h + y) * w + x;
+  };
+  for (VertexId z = 0; z < d; ++z) {
+    for (VertexId y = 0; y < h; ++y) {
+      for (VertexId x = 0; x < w; ++x) {
+        if (x + 1 < w) b.add_edge(id(x, y, z), id(x + 1, y, z), ewgt);
+        if (y + 1 < h) b.add_edge(id(x, y, z), id(x, y + 1, z), ewgt);
+        if (z + 1 < d) b.add_edge(id(x, y, z), id(x, y, z + 1), ewgt);
+      }
+    }
+  }
+  return b.build();
+}
+
+CsrGraph random_geometric(VertexId n, double radius, util::Rng& rng) {
+  PREMA_CHECK(n > 0 && radius > 0.0);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i) pts.emplace_back(rng.uniform(), rng.uniform());
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      const double dx = pts[static_cast<std::size_t>(i)].first -
+                        pts[static_cast<std::size_t>(j)].first;
+      const double dy = pts[static_cast<std::size_t>(i)].second -
+                        pts[static_cast<std::size_t>(j)].second;
+      if (dx * dx + dy * dy <= r2) b.add_edge(i, j);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph random_connected(VertexId n, EdgeIdx extra_edges, util::Rng& rng) {
+  PREMA_CHECK(n > 1);
+  GraphBuilder b(n);
+  std::set<std::pair<VertexId, VertexId>> used;
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    b.add_edge(i, i + 1);
+    used.emplace(i, i + 1);
+  }
+  EdgeIdx added = 0;
+  int attempts = 0;
+  while (added < extra_edges && attempts < 50 * extra_edges + 100) {
+    ++attempts;
+    auto u = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!used.emplace(u, v).second) continue;
+    b.add_edge(u, v);
+    ++added;
+  }
+  return b.build();
+}
+
+}  // namespace prema::graph

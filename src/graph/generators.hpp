@@ -1,0 +1,27 @@
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "support/rng.hpp"
+
+/// \file generators.hpp
+/// Deterministic graph generators used by the partitioner tests, the
+/// repartitioning baseline, and the benchmark workload builder.
+
+namespace prema::graph {
+
+/// 2-D grid (w x h vertices, 4-neighbour edges) — the classic mesh stand-in.
+CsrGraph grid2d(VertexId w, VertexId h, double vwgt = 1.0, double ewgt = 1.0);
+
+/// 3-D grid (w x h x d vertices, 6-neighbour edges).
+CsrGraph grid3d(VertexId w, VertexId h, VertexId d, double vwgt = 1.0,
+                double ewgt = 1.0);
+
+/// Random geometric graph: n points in the unit square, edges within
+/// `radius`. Produces irregular, mesh-like degree distributions.
+CsrGraph random_geometric(VertexId n, double radius, util::Rng& rng);
+
+/// Connected random graph: a Hamiltonian path plus `extra_edges` random
+/// chords (no duplicates, no self loops).
+CsrGraph random_connected(VertexId n, EdgeIdx extra_edges, util::Rng& rng);
+
+}  // namespace prema::graph

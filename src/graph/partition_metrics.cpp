@@ -1,0 +1,61 @@
+#include "graph/partition_metrics.hpp"
+
+#include <algorithm>
+
+namespace prema::graph {
+
+double edge_cut(const CsrGraph& g, const Partition& part) {
+  PREMA_CHECK(part.size() == static_cast<std::size_t>(g.num_vertices()));
+  double cut = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v && part[static_cast<std::size_t>(v)] !=
+                             part[static_cast<std::size_t>(nbrs[i])]) {
+        cut += wgts[i];
+      }
+    }
+  }
+  return cut;
+}
+
+double migration_volume(const CsrGraph& g, const Partition& from,
+                        const Partition& to) {
+  PREMA_CHECK(from.size() == to.size());
+  PREMA_CHECK(from.size() == static_cast<std::size_t>(g.num_vertices()));
+  double moved = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (from[static_cast<std::size_t>(v)] != to[static_cast<std::size_t>(v)]) {
+      moved += g.vertex_weight(v);
+    }
+  }
+  return moved;
+}
+
+std::vector<double> part_weights(const CsrGraph& g, const Partition& part, int k) {
+  PREMA_CHECK(k > 0);
+  std::vector<double> w(static_cast<std::size_t>(k), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto p = part[static_cast<std::size_t>(v)];
+    PREMA_CHECK_MSG(p >= 0 && p < k, "part id out of range");
+    w[static_cast<std::size_t>(p)] += g.vertex_weight(v);
+  }
+  return w;
+}
+
+double imbalance(const CsrGraph& g, const Partition& part, int k) {
+  const auto w = part_weights(g, part, k);
+  const double total = g.total_vertex_weight();
+  if (total <= 0.0) return 1.0;
+  const double mean = total / k;
+  const double mx = *std::max_element(w.begin(), w.end());
+  return mx / mean;
+}
+
+double unified_cost(const CsrGraph& g, const Partition& old_part,
+                    const Partition& new_part, double alpha) {
+  return edge_cut(g, new_part) + alpha * migration_volume(g, old_part, new_part);
+}
+
+}  // namespace prema::graph

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+/// \file partition_metrics.hpp
+/// Quality metrics of a k-way partition — the quantities the unified
+/// repartitioning algorithm optimizes (|Ecut| + alpha * |Vmove|, paper §3.1)
+/// and the balance statistics the evaluation reports.
+
+namespace prema::graph {
+
+/// A partition assigns every vertex a part in [0, k).
+using Partition = std::vector<std::int32_t>;
+
+/// Sum of edge weights crossing part boundaries (each edge counted once).
+double edge_cut(const CsrGraph& g, const Partition& part);
+
+/// Total vertex weight that changed parts between `from` and `to` — the data
+/// redistribution cost |Vmove| of adaptive repartitioning.
+double migration_volume(const CsrGraph& g, const Partition& from,
+                        const Partition& to);
+
+/// Per-part total vertex weight.
+std::vector<double> part_weights(const CsrGraph& g, const Partition& part, int k);
+
+/// max(part weight) / mean(part weight); 1.0 is perfect balance.
+double imbalance(const CsrGraph& g, const Partition& part, int k);
+
+/// The unified repartitioning objective: |Ecut| + alpha * |Vmove|.
+double unified_cost(const CsrGraph& g, const Partition& old_part,
+                    const Partition& new_part, double alpha);
+
+}  // namespace prema::graph

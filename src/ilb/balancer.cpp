@@ -1,0 +1,93 @@
+#include "ilb/balancer.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace prema::ilb {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+Balancer::Balancer(dmcs::Node& node, mol::Mol& mol, Scheduler& sched,
+                   std::unique_ptr<Policy> policy, BalancerConfig cfg,
+                   dmcs::HandlerId policy_wire_h)
+    : node_(node),
+      mol_(mol),
+      sched_(sched),
+      policy_(std::move(policy)),
+      cfg_(cfg),
+      wire_h_(policy_wire_h) {
+  PREMA_CHECK_MSG(policy_ != nullptr, "balancer needs a policy (use \"null\")");
+}
+
+void Balancer::init() {
+  if (cfg_.enabled) policy_->init(*this);
+}
+
+void Balancer::poll() {
+  if (!cfg_.enabled || stopped_) return;
+  ++stats_.polls;
+  charge_seconds(cfg_.decision_cost_s);
+  policy_->on_poll(*this);
+}
+
+void Balancer::on_wire(dmcs::Message&& msg) {
+  if (!cfg_.enabled) return;
+  ++stats_.wire_messages;
+  ByteReader r(msg.payload);
+  const auto tag = r.get<PolicyTag>();
+  if (tag == 0) {
+    // Self-addressed polling-thread tick (see unit_started): behave exactly
+    // like a poll point, which is what the polling thread does on wakeup.
+    self_tick_armed_ = false;
+    poll();
+    return;
+  }
+  charge_seconds(cfg_.decision_cost_s);
+  policy_->on_message(*this, msg.src, tag, r);
+}
+
+void Balancer::work_arrived() {
+  if (!cfg_.enabled) return;
+  policy_->on_work_arrived(*this);
+}
+
+void Balancer::unit_started() {
+  if (!cfg_.enabled) return;
+  // Paper §4.2: with preemptive message processing, "load balancing begins
+  // when the underloaded processor begins work on its last local work unit".
+  // Arm the polling thread by sending ourselves a system message; it will be
+  // handled at the next polling tick (implicit mode) or — degenerating
+  // gracefully — at the next poll operation (explicit mode).
+  if (local_load() >= cfg_.low_watermark) return;
+  request_poll_after(0.0);
+}
+
+void Balancer::request_poll_after(double seconds) {
+  if (!cfg_.enabled || stopped_ || self_tick_armed_) return;
+  self_tick_armed_ = true;
+  ByteWriter w;
+  w.put<PolicyTag>(0);
+  node_.send_self_after(
+      seconds, dmcs::Message{wire_h_, node_.rank(), dmcs::MsgKind::kSystem, w.take()});
+}
+
+void Balancer::migrate_object(const mol::MobilePtr& ptr, ProcId dst) {
+  ++stats_.objects_migrated;
+  mol_.migrate(ptr, dst);
+}
+
+void Balancer::send_policy(ProcId dst, PolicyTag tag,
+                           std::vector<std::uint8_t> body) {
+  ByteWriter w(body.size() + 1);
+  w.put<PolicyTag>(tag);
+  for (std::uint8_t b : body) w.put<std::uint8_t>(b);
+  node_.send(dst, dmcs::Message{wire_h_, node_.rank(), dmcs::MsgKind::kSystem, w.take()});
+}
+
+void Balancer::charge_seconds(double seconds) {
+  node_.compute_seconds(seconds, util::TimeCategory::kScheduling);
+}
+
+}  // namespace prema::ilb

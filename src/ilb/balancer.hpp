@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+
+#include "dmcs/node.hpp"
+#include "ilb/policy.hpp"
+#include "ilb/scheduler.hpp"
+#include "mol/mol.hpp"
+
+/// \file balancer.hpp
+/// Glue between one processor's scheduler, its Mobile Object Layer, and the
+/// plugged-in balancing policy. The balancer implements PolicyContext, feeds
+/// the policy its events, and carries PREMA's water-mark logic, including the
+/// implicit-mode trick from paper §4.2: when the processor starts running its
+/// *last* queued unit, the balancer arms a self-addressed system message so
+/// the polling thread initiates balancing *during* the unit instead of after
+/// it — this is exactly why implicit PREMA keeps processors fed.
+
+namespace prema::ilb {
+
+struct BalancerConfig {
+  /// Load below which this processor asks for work (in weight-hint units or
+  /// unit counts, per `use_weight`).
+  double low_watermark = 2.0;
+  /// Load above which a processor is willing to donate.
+  double donate_threshold = 4.0;
+  /// Use application weight hints (true) or unit counts (false) as load.
+  bool use_weight = true;
+  /// CPU cost charged (Scheduling) per policy decision event.
+  double decision_cost_s = 5e-6;
+  /// Master switch; off = "no load balancing" baseline.
+  bool enabled = true;
+};
+
+class Balancer final : public PolicyContext {
+ public:
+  Balancer(dmcs::Node& node, mol::Mol& mol, Scheduler& sched,
+           std::unique_ptr<Policy> policy, BalancerConfig cfg,
+           dmcs::HandlerId policy_wire_h);
+
+  // -- events from the runtime's Program --------------------------------
+  void init();
+  /// A poll point (service pass, polling tick, or idle transition).
+  void poll();
+  /// A policy wire message arrived (dispatched from the DMCS handler).
+  void on_wire(dmcs::Message&& msg);
+  /// The scheduler accepted new local work.
+  void work_arrived();
+  /// A work unit just started; if the queue ran dry behind it, arm the
+  /// polling-thread wakeup (implicit mode) via a self system message.
+  void unit_started();
+
+  [[nodiscard]] const BalancerConfig& config() const { return cfg_; }
+  [[nodiscard]] Policy& policy() { return *policy_; }
+
+  /// Global termination has been detected: stop initiating balancing (poll
+  /// events and timer wakeups become no-ops).
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t wire_messages = 0;
+    std::uint64_t objects_migrated = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // -- PolicyContext ------------------------------------------------------
+  [[nodiscard]] ProcId rank() const override { return node_.rank(); }
+  [[nodiscard]] int nprocs() const override { return node_.nprocs(); }
+  [[nodiscard]] double now() const override { return node_.now(); }
+  [[nodiscard]] util::Rng& rng() override { return node_.rng(); }
+  [[nodiscard]] double local_load() const override {
+    return sched_.load(cfg_.use_weight);
+  }
+  [[nodiscard]] double low_watermark() const override { return cfg_.low_watermark; }
+  [[nodiscard]] double donate_threshold() const override { return cfg_.donate_threshold; }
+  [[nodiscard]] std::vector<Scheduler::ObjectLoad> migratable() const override {
+    return sched_.migratable_loads();
+  }
+  void migrate_object(const mol::MobilePtr& ptr, ProcId dst) override;
+  void send_policy(ProcId dst, PolicyTag tag,
+                   std::vector<std::uint8_t> body) override;
+  void charge_seconds(double seconds) override;
+  void request_poll_after(double seconds) override;
+
+ private:
+  dmcs::Node& node_;
+  mol::Mol& mol_;
+  Scheduler& sched_;
+  std::unique_ptr<Policy> policy_;
+  BalancerConfig cfg_;
+  dmcs::HandlerId wire_h_;
+  Stats stats_;
+  bool self_tick_armed_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace prema::ilb

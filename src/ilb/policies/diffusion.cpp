@@ -1,0 +1,81 @@
+#include "ilb/policies/diffusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace prema::ilb {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void DiffusionPolicy::init(PolicyContext& ctx) {
+  const int p = ctx.nprocs();
+  const ProcId me = ctx.rank();
+  if (p == 1) return;
+  if (is_power_of_two(p)) {
+    for (int bit = 1; bit < p; bit <<= 1) neighbors_.push_back(me ^ bit);
+  } else {
+    neighbors_.push_back((me + 1) % p);
+    if (p > 2) neighbors_.push_back((me + p - 1) % p);
+  }
+}
+
+void DiffusionPolicy::on_poll(PolicyContext& ctx) {
+  announce_if_changed(ctx);
+  for (ProcId n : neighbors_) push_towards(ctx, n);
+}
+
+void DiffusionPolicy::announce_if_changed(PolicyContext& ctx) {
+  const double load = ctx.local_load();
+  if (last_announced_ >= 0.0) {
+    const double delta = std::abs(load - last_announced_);
+    const double floor =
+        std::max(params_.min_gap, params_.announce_hysteresis * last_announced_);
+    if (delta < floor) return;
+  }
+  last_announced_ = load;
+  ByteWriter w;
+  w.put<double>(load);
+  for (ProcId n : neighbors_) ctx.send_policy(n, kLoad, w.bytes());
+}
+
+void DiffusionPolicy::push_towards(PolicyContext& ctx, ProcId neighbor) {
+  auto it = neighbor_load_.find(neighbor);
+  if (it == neighbor_load_.end()) return;  // never heard from them
+  const double mine = ctx.local_load();
+  const double theirs = it->second;
+  const double gap = mine - theirs;
+  if (gap < 2 * params_.min_gap || mine <= ctx.donate_threshold()) return;
+  const double quota = params_.alpha * gap / 2.0;
+  auto objects = ctx.migratable();
+  std::reverse(objects.begin(), objects.end());  // lightest first
+  double moved = 0.0;
+  for (const auto& obj : objects) {
+    if (moved + obj.weight > quota && moved > 0.0) break;
+    if (moved + obj.weight > gap) break;  // never invert the imbalance
+    ctx.migrate_object(obj.ptr, neighbor);
+    moved += obj.weight;
+  }
+  if (moved > 0.0) {
+    // Optimistically account the transfer so we do not re-push before the
+    // neighbour's next announcement.
+    it->second += moved;
+  }
+}
+
+void DiffusionPolicy::on_message(PolicyContext& ctx, ProcId from, PolicyTag tag,
+                                 ByteReader& body) {
+  PREMA_CHECK_MSG(tag == kLoad, "unknown diffusion message tag");
+  neighbor_load_[from] = body.get<double>();
+  push_towards(ctx, from);
+}
+
+}  // namespace prema::ilb

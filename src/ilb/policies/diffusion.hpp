@@ -1,0 +1,50 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ilb/policy.hpp"
+
+/// \file diffusion.hpp
+/// Cybenko-style diffusion (paper reference [7]): each processor exchanges
+/// load levels with a small fixed neighbourhood (hypercube when nprocs is a
+/// power of two, ring otherwise) and pushes a fraction of any load gap to
+/// lighter neighbours. Announcements are hysteresis-throttled so the protocol
+/// quiesces once loads stop changing.
+
+namespace prema::ilb {
+
+struct DiffusionParams {
+  /// Fraction of the load gap pushed per exchange (classic alpha).
+  double alpha = 0.5;
+  /// Minimum relative load change before re-announcing to neighbours.
+  double announce_hysteresis = 0.25;
+  /// Minimum absolute load gap worth acting on.
+  double min_gap = 1.0;
+};
+
+class DiffusionPolicy final : public Policy {
+ public:
+  explicit DiffusionPolicy(DiffusionParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "diffusion"; }
+  void init(PolicyContext& ctx) override;
+  void on_poll(PolicyContext& ctx) override;
+  void on_message(PolicyContext& ctx, ProcId from, PolicyTag tag,
+                  util::ByteReader& body) override;
+
+  [[nodiscard]] const std::vector<ProcId>& neighbors() const { return neighbors_; }
+
+ private:
+  static constexpr PolicyTag kLoad = 1;
+
+  void announce_if_changed(PolicyContext& ctx);
+  void push_towards(PolicyContext& ctx, ProcId neighbor);
+
+  DiffusionParams params_;
+  std::vector<ProcId> neighbors_;
+  std::unordered_map<ProcId, double> neighbor_load_;
+  double last_announced_ = -1.0;
+};
+
+}  // namespace prema::ilb

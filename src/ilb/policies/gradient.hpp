@@ -1,0 +1,54 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ilb/policy.hpp"
+
+/// \file gradient.hpp
+/// Gradient-model balancing (Lin & Keller): every processor maintains a
+/// *proximity* — its hop distance, over a ring neighbourhood, to the nearest
+/// underloaded processor (0 if it is itself underloaded). Proximities
+/// propagate between neighbours on change; overloaded processors ship work to
+/// the neighbour whose proximity points downhill toward starvation.
+
+namespace prema::ilb {
+
+struct GradientParams {
+  /// Fraction of the surplus above the donate threshold moved per transfer.
+  double transfer_fraction = 0.5;
+  /// Minimum spacing between a node's proximity announcements (damps the
+  /// distance-vector count-up storms; deferred changes coalesce).
+  double announce_interval_s = 20e-3;
+};
+
+class GradientPolicy final : public Policy {
+ public:
+  explicit GradientPolicy(GradientParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "gradient"; }
+  void init(PolicyContext& ctx) override;
+  void on_poll(PolicyContext& ctx) override;
+  void on_message(PolicyContext& ctx, ProcId from, PolicyTag tag,
+                  util::ByteReader& body) override;
+  void on_work_arrived(PolicyContext& ctx) override;
+
+  [[nodiscard]] std::uint32_t proximity() const { return proximity_; }
+
+ private:
+  static constexpr PolicyTag kProximity = 1;
+  /// Proximity value meaning "no underloaded processor known".
+  [[nodiscard]] std::uint32_t infinity(const PolicyContext& ctx) const;
+
+  void refresh(PolicyContext& ctx, bool allow_increase);
+  void maybe_push(PolicyContext& ctx);
+
+  GradientParams params_;
+  std::vector<ProcId> neighbors_;
+  std::unordered_map<ProcId, std::uint32_t> neighbor_prox_;
+  std::uint32_t proximity_ = 0;
+  bool announced_once_ = false;
+  double last_announce_ = -1e18;
+};
+
+}  // namespace prema::ilb

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "ilb/policy.hpp"
+
+/// \file master.hpp
+/// Centralized manager policy: rank 0 keeps an (eventually consistent) view
+/// of every processor's load from hysteresis-throttled reports and matches
+/// starved processors with the heaviest known donor. Included as the
+/// classical centralized baseline the asynchronous policies are measured
+/// against — it balances well at small scale and bottlenecks on the manager
+/// as the machine grows.
+
+namespace prema::ilb {
+
+struct MasterParams {
+  /// Minimum relative load change before re-reporting to the manager.
+  double report_hysteresis = 0.3;
+};
+
+class MasterPolicy final : public Policy {
+ public:
+  explicit MasterPolicy(MasterParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "master"; }
+  void init(PolicyContext& ctx) override;
+  void on_poll(PolicyContext& ctx) override;
+  void on_message(PolicyContext& ctx, ProcId from, PolicyTag tag,
+                  util::ByteReader& body) override;
+  void on_work_arrived(PolicyContext& ctx) override;
+
+ private:
+  static constexpr PolicyTag kReport = 1;
+  static constexpr PolicyTag kNeedWork = 2;
+  static constexpr PolicyTag kPush = 3;
+
+  void report_if_changed(PolicyContext& ctx);
+  void serve_pending(PolicyContext& ctx);  // manager side
+
+  MasterParams params_;
+  double last_reported_ = -1.0;
+  bool needwork_sent_ = false;
+
+  // Manager (rank 0) state.
+  std::vector<double> loads_;
+  std::deque<ProcId> pending_;
+};
+
+}  // namespace prema::ilb

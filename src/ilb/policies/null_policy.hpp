@@ -1,0 +1,17 @@
+#pragma once
+
+#include "ilb/policy.hpp"
+
+/// \file null_policy.hpp
+/// The "no load balancing" baseline: ignores every event. Work executes where
+/// it was initially placed, which is panel (a) of the paper's Figures 3-6.
+
+namespace prema::ilb {
+
+class NullPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "null"; }
+  void on_message(PolicyContext&, ProcId, PolicyTag, util::ByteReader&) override {}
+};
+
+}  // namespace prema::ilb

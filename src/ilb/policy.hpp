@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ilb/scheduler.hpp"
+#include "mol/mobile_ptr.hpp"
+#include "support/byte_buffer.hpp"
+#include "support/rng.hpp"
+
+/// \file policy.hpp
+/// PREMA's load-balancing framework [Barker et al., TPDS'03]: policies are
+/// pluggable strategy objects driven by three kinds of events — poll points
+/// (the scheduler's pick-and-process loop, or a polling-thread wakeup in
+/// implicit mode), policy wire messages, and local load transitions. The
+/// framework, not the policy, decides *when* these fire (explicitly at poll
+/// operations or preemptively); the policy decides *what* moves *where*.
+
+namespace prema::ilb {
+
+/// Tag namespace for a policy's own wire messages (one byte on the wire).
+using PolicyTag = std::uint8_t;
+
+/// What a policy sees and may do. Implemented by the Balancer.
+class PolicyContext {
+ public:
+  virtual ~PolicyContext() = default;
+
+  [[nodiscard]] virtual ProcId rank() const = 0;
+  [[nodiscard]] virtual int nprocs() const = 0;
+  [[nodiscard]] virtual double now() const = 0;
+  [[nodiscard]] virtual util::Rng& rng() = 0;
+
+  /// Queued local load (application weight hints or unit count, per the
+  /// balancer's configuration). Does not include the executing unit.
+  [[nodiscard]] virtual double local_load() const = 0;
+
+  /// The configured low water-mark below which this processor counts as
+  /// underloaded (paper §4.1).
+  [[nodiscard]] virtual double low_watermark() const = 0;
+
+  /// Load above which this processor is willing to donate work.
+  [[nodiscard]] virtual double donate_threshold() const = 0;
+
+  /// Per-object migratable load (excludes the executing object).
+  [[nodiscard]] virtual std::vector<Scheduler::ObjectLoad> migratable() const = 0;
+
+  /// Uninstall `ptr` (with its queued work) and ship it to `dst`.
+  virtual void migrate_object(const mol::MobilePtr& ptr, ProcId dst) = 0;
+
+  /// Send a policy wire message (system kind — eligible for preemptive
+  /// processing at the destination).
+  virtual void send_policy(ProcId dst, PolicyTag tag,
+                           std::vector<std::uint8_t> body) = 0;
+
+  /// Charge decision-making CPU to the Scheduling category.
+  virtual void charge_seconds(double seconds) = 0;
+
+  /// Ask the framework for another on_poll roughly `seconds` from now — the
+  /// polling thread's periodic wakeup, used for balancing retries/backoff.
+  /// Collapses to a single pending wakeup if called repeatedly.
+  virtual void request_poll_after(double seconds) = 0;
+};
+
+/// A pluggable dynamic load-balancing strategy.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once before the run starts.
+  virtual void init(PolicyContext&) {}
+
+  /// A poll point on this processor: between work units in explicit mode,
+  /// plus polling-thread wakeups in implicit mode, plus idle transitions.
+  virtual void on_poll(PolicyContext&) {}
+
+  /// A policy wire message sent by a peer's send_policy.
+  virtual void on_message(PolicyContext&, ProcId from, PolicyTag tag,
+                          util::ByteReader& body) = 0;
+
+  /// New work (message or migrated object) arrived locally.
+  virtual void on_work_arrived(PolicyContext&) {}
+};
+
+/// Instantiate a policy from its registry name:
+///   "null" | "work_stealing" | "diffusion" | "gradient" | "master" |
+///   "multilist"
+/// Aborts on unknown names. `params` is an optional policy-specific knob
+/// string (currently unused; policies take their defaults).
+std::unique_ptr<Policy> make_policy(const std::string& name);
+
+}  // namespace prema::ilb

@@ -1,0 +1,24 @@
+#include "ilb/policy.hpp"
+
+#include "ilb/policies/diffusion.hpp"
+#include "ilb/policies/gradient.hpp"
+#include "ilb/policies/master.hpp"
+#include "ilb/policies/multilist.hpp"
+#include "ilb/policies/null_policy.hpp"
+#include "ilb/policies/work_stealing.hpp"
+#include "support/assert.hpp"
+
+namespace prema::ilb {
+
+std::unique_ptr<Policy> make_policy(const std::string& name) {
+  if (name == "null") return std::make_unique<NullPolicy>();
+  if (name == "work_stealing") return std::make_unique<WorkStealingPolicy>();
+  if (name == "diffusion") return std::make_unique<DiffusionPolicy>();
+  if (name == "gradient") return std::make_unique<GradientPolicy>();
+  if (name == "master") return std::make_unique<MasterPolicy>();
+  if (name == "multilist") return std::make_unique<MultiListPolicy>();
+  PREMA_CHECK_MSG(false, "unknown balancing policy name");
+  return nullptr;
+}
+
+}  // namespace prema::ilb

@@ -1,0 +1,90 @@
+#include "ilb/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace prema::ilb {
+
+void Scheduler::enqueue(mol::Delivery&& d) {
+  auto [it, inserted] = per_object_.try_emplace(d.target);
+  auto& q = it->second;
+  if (!q.empty()) {
+    // Delivery numbers are assigned at first acceptance and preserved across
+    // migrations, so within an object they must arrive monotonically.
+    PREMA_CHECK_MSG(q.back().delivery_no < d.delivery_no,
+                    "out-of-order delivery reached the scheduler");
+  }
+  ++total_units_;
+  total_weight_ += d.weight;
+  const bool was_empty = q.empty();
+  q.push_back(std::move(d));
+  if (was_empty) ready_.push_back(it->first);
+}
+
+std::optional<mol::Delivery> Scheduler::pick() {
+  PREMA_CHECK_MSG(!executing_, "pick() while a unit is executing");
+  if (ready_.empty()) return std::nullopt;
+  const mol::MobilePtr ptr = ready_.front();
+  ready_.pop_front();
+  auto it = per_object_.find(ptr);
+  PREMA_CHECK(it != per_object_.end());
+  mol::Delivery d = std::move(it->second.front());
+  it->second.pop_front();
+  --total_units_;
+  total_weight_ -= d.weight;
+  if (it->second.empty()) {
+    per_object_.erase(it);
+  } else {
+    ready_.push_back(ptr);  // round-robin across objects
+  }
+  executing_ = true;
+  executing_ptr_ = ptr;
+  return d;
+}
+
+void Scheduler::complete() {
+  PREMA_CHECK_MSG(executing_, "complete() without a picked unit");
+  executing_ = false;
+  executing_ptr_ = mol::kNullMobilePtr;
+}
+
+std::vector<mol::Delivery> Scheduler::take_queued(const mol::MobilePtr& ptr) {
+  PREMA_CHECK_MSG(!(executing_ && executing_ptr_ == ptr),
+                  "cannot take the executing object's queue");
+  auto it = per_object_.find(ptr);
+  if (it == per_object_.end()) return {};
+  std::vector<mol::Delivery> out(std::make_move_iterator(it->second.begin()),
+                                 std::make_move_iterator(it->second.end()));
+  for (const auto& d : out) {
+    --total_units_;
+    total_weight_ -= d.weight;
+  }
+  per_object_.erase(it);
+  ready_.erase(std::remove(ready_.begin(), ready_.end(), ptr), ready_.end());
+  return out;
+}
+
+std::vector<Scheduler::ObjectLoad> Scheduler::migratable_loads() const {
+  std::vector<ObjectLoad> out;
+  out.reserve(per_object_.size());
+  for (const auto& [ptr, q] : per_object_) {
+    if (executing_ && ptr == executing_ptr_) continue;
+    ObjectLoad l;
+    l.ptr = ptr;
+    l.units = q.size();
+    for (const auto& d : q) l.weight += d.weight;
+    // Zero-weight queues (pure control messages, e.g. a coordinator object)
+    // carry no movable load; migrating them helps nobody.
+    if (l.weight <= 0.0) continue;
+    out.push_back(l);
+  }
+  // Deterministic order for policies that iterate (hash map order is not).
+  std::sort(out.begin(), out.end(), [](const ObjectLoad& a, const ObjectLoad& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.ptr < b.ptr;
+  });
+  return out;
+}
+
+}  // namespace prema::ilb

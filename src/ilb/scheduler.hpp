@@ -1,0 +1,70 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mol/delivery.hpp"
+
+/// \file scheduler.hpp
+/// PREMA's per-processor work-unit scheduler: the queue behind the
+/// pick-and-process loop. Application messages accepted by the MOL become
+/// queued work units here; the runtime picks them round-robin across target
+/// objects (FIFO within an object, which together with MOL delivery numbers
+/// preserves per-sender order).
+///
+/// The scheduler is also the load model: the balancing framework reads the
+/// queued weight (application hints) or unit count, and migration surrenders
+/// an object's queued units via take_queued.
+
+namespace prema::ilb {
+
+class Scheduler {
+ public:
+  struct ObjectLoad {
+    mol::MobilePtr ptr;
+    std::size_t units = 0;
+    double weight = 0.0;
+  };
+
+  /// Queue an accepted delivery (MOL on_delivery hook).
+  void enqueue(mol::Delivery&& d);
+
+  /// Pop the next work unit (round-robin over ready objects) and mark its
+  /// target as the currently executing object.
+  std::optional<mol::Delivery> pick();
+
+  /// The work unit picked last has finished executing.
+  void complete();
+
+  /// Remove and return every queued unit targeting `ptr` (object migration).
+  /// The executing object cannot surrender its units.
+  std::vector<mol::Delivery> take_queued(const mol::MobilePtr& ptr);
+
+  [[nodiscard]] bool has_work() const { return !ready_.empty(); }
+  [[nodiscard]] std::size_t queued_units() const { return total_units_; }
+  [[nodiscard]] double queued_weight() const { return total_weight_; }
+  [[nodiscard]] bool executing() const { return executing_; }
+  [[nodiscard]] const mol::MobilePtr& executing_ptr() const { return executing_ptr_; }
+
+  /// Per-object queued load, excluding the currently executing object —
+  /// exactly the set a balancing policy may migrate.
+  [[nodiscard]] std::vector<ObjectLoad> migratable_loads() const;
+
+  /// Load visible to the balancer: queued work only (the running unit is
+  /// committed to this processor either way).
+  [[nodiscard]] double load(bool use_weight) const {
+    return use_weight ? total_weight_ : static_cast<double>(total_units_);
+  }
+
+ private:
+  std::unordered_map<mol::MobilePtr, std::deque<mol::Delivery>> per_object_;
+  std::deque<mol::MobilePtr> ready_;  ///< each object with queued units, once
+  std::size_t total_units_ = 0;
+  double total_weight_ = 0.0;
+  bool executing_ = false;
+  mol::MobilePtr executing_ptr_;
+};
+
+}  // namespace prema::ilb

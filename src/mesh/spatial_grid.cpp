@@ -1,0 +1,94 @@
+#include "mesh/spatial_grid.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace prema::mesh {
+
+SpatialGrid::SpatialGrid(double cell) : cell_(cell) {
+  PREMA_CHECK_MSG(cell > 0.0, "grid cell must be positive");
+}
+
+SpatialGrid::Key SpatialGrid::key_of(const Vec3& p) const {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_)),
+          static_cast<std::int64_t>(std::floor(p.z / cell_))};
+}
+
+void SpatialGrid::insert(std::int32_t id, const Vec3& p) {
+  buckets_[key_of(p)].emplace_back(id, p);
+  ++count_;
+}
+
+void SpatialGrid::remove(std::int32_t id, const Vec3& p) {
+  auto it = buckets_.find(key_of(p));
+  PREMA_CHECK_MSG(it != buckets_.end(), "removing a point the grid never saw");
+  auto& v = it->second;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].first == id) {
+      v[i] = v.back();
+      v.pop_back();
+      --count_;
+      if (v.empty()) buckets_.erase(it);
+      return;
+    }
+  }
+  PREMA_CHECK_MSG(false, "removing a point the grid never saw");
+}
+
+void SpatialGrid::for_each_in_ball(
+    const Vec3& center, double radius,
+    const std::function<void(std::int32_t, const Vec3&)>& fn) const {
+  const double r2 = radius * radius;
+  const Key lo = key_of({center.x - radius, center.y - radius, center.z - radius});
+  const Key hi = key_of({center.x + radius, center.y + radius, center.z + radius});
+  // Huge balls (e.g. circumspheres of near-degenerate faces) would touch far
+  // more cells than exist: iterating the occupied buckets directly caps the
+  // cost at O(#points) regardless of the radius.
+  const double cells = static_cast<double>(hi.x - lo.x + 1) *
+                       static_cast<double>(hi.y - lo.y + 1) *
+                       static_cast<double>(hi.z - lo.z + 1);
+  if (cells > 2.0 * static_cast<double>(buckets_.size()) + 16.0) {
+    for (const auto& [key, bucket] : buckets_) {
+      for (const auto& [id, p] : bucket) {
+        if (norm2(p - center) <= r2) fn(id, p);
+      }
+    }
+    return;
+  }
+  for (std::int64_t x = lo.x; x <= hi.x; ++x) {
+    for (std::int64_t y = lo.y; y <= hi.y; ++y) {
+      for (std::int64_t z = lo.z; z <= hi.z; ++z) {
+        auto it = buckets_.find(Key{x, y, z});
+        if (it == buckets_.end()) continue;
+        for (const auto& [id, p] : it->second) {
+          if (norm2(p - center) <= r2) fn(id, p);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::int32_t> SpatialGrid::query_ball(const Vec3& center,
+                                                  double radius) const {
+  std::vector<std::int32_t> out;
+  for_each_in_ball(center, radius,
+                   [&out](std::int32_t id, const Vec3&) { out.push_back(id); });
+  return out;
+}
+
+std::int32_t SpatialGrid::nearest(const Vec3& center, double max_radius) const {
+  std::int32_t best = -1;
+  double best_d2 = max_radius * max_radius;
+  for_each_in_ball(center, max_radius, [&](std::int32_t id, const Vec3& p) {
+    const double d2 = norm2(p - center);
+    if (d2 <= best_d2) {
+      best_d2 = d2;
+      best = id;
+    }
+  });
+  return best;
+}
+
+}  // namespace prema::mesh

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/vec3.hpp"
+
+/// \file spatial_grid.hpp
+/// Uniform hash grid over 3-D points: the advancing front's proximity index
+/// (nearest-vertex candidates, "is anything too close to this apex" checks).
+
+namespace prema::mesh {
+
+class SpatialGrid {
+ public:
+  /// `cell` is the bucket edge length; pick it near the smallest feature
+  /// size so neighbourhood queries touch O(1) buckets.
+  explicit SpatialGrid(double cell);
+
+  /// Insert point `id` at position p (positions are stored by the caller;
+  /// the grid keeps (id, position) pairs for query convenience).
+  void insert(std::int32_t id, const Vec3& p);
+
+  /// Remove a previously inserted point (exact position required).
+  void remove(std::int32_t id, const Vec3& p);
+
+  /// Visit every point within `radius` of `center` (conservative: visits
+  /// candidates in overlapping buckets, filters by true distance).
+  void for_each_in_ball(const Vec3& center, double radius,
+                        const std::function<void(std::int32_t, const Vec3&)>& fn) const;
+
+  /// Ids of all points within `radius` of `center`.
+  [[nodiscard]] std::vector<std::int32_t> query_ball(const Vec3& center,
+                                                     double radius) const;
+
+  /// Nearest point to `center` within `max_radius`, or -1.
+  [[nodiscard]] std::int32_t nearest(const Vec3& center, double max_radius) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  struct Key {
+    std::int64_t x, y, z;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (const std::int64_t v : {k.x, k.y, k.z}) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  [[nodiscard]] Key key_of(const Vec3& p) const;
+
+  double cell_;
+  std::unordered_map<Key, std::vector<std::pair<std::int32_t, Vec3>>, KeyHash> buckets_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace prema::mesh

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cmath>
+
+/// \file vec3.hpp
+/// Minimal 3-D vector for the advancing-front mesher.
+
+namespace prema::mesh {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  friend Vec3 operator+(const Vec3& a, const Vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(const Vec3& a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend Vec3 operator*(double s, const Vec3& a) { return a * s; }
+  friend Vec3 operator/(const Vec3& a, double s) {
+    return {a.x / s, a.y / s, a.z / s};
+  }
+  Vec3& operator+=(const Vec3& b) {
+    x += b.x;
+    y += b.y;
+    z += b.z;
+    return *this;
+  }
+
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double norm2(const Vec3& a) { return dot(a, a); }
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec3{};
+}
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+}  // namespace prema::mesh

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mol/mobile_ptr.hpp"
+
+/// \file delivery.hpp
+/// An application message that the MOL has routed to its target object and
+/// accepted in order. Deliveries are what the scheduler above the MOL queues
+/// and executes; when an object migrates, its not-yet-executed deliveries
+/// travel with it.
+
+namespace prema::mol {
+
+/// Application-level handler id (the PREMA runtime's own handler table, not
+/// the DMCS one — DMCS carries MOL envelopes, the MOL carries these).
+using ObjectHandlerId = std::uint32_t;
+
+struct Delivery {
+  MobilePtr target;
+  ObjectHandlerId handler = 0;
+  ProcId origin = kNoProc;          ///< the processor that sent the message
+  double weight = 1.0;              ///< application load hint
+  std::uint64_t delivery_no = 0;    ///< per-object execution order
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
+};
+
+}  // namespace prema::mol

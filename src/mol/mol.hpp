@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dmcs/machine.hpp"
+#include "mol/delivery.hpp"
+#include "mol/mobile_object.hpp"
+#include "mol/mobile_ptr.hpp"
+
+/// \file mol.hpp
+/// The Mobile Object Layer (Chrisochoides et al. 2000): a global namespace of
+/// migratable objects over the DMCS. Provides
+///   - mobile pointers: location-independent names;
+///   - transparent migration: an object, its pending (queued) messages, and
+///     its ordering state move together;
+///   - automatic message forwarding: messages sent to a stale location chase
+///     the object along forwarding addresses, and the final receiver lazily
+///     updates the sender's location cache;
+///   - per-sender FIFO ordering: messages from one sender to one object are
+///     delivered in send order even across migrations (sequence numbers and a
+///     resequencing buffer that migrates with the object).
+///
+/// Concurrency: every public method and handler entry assumes the caller
+/// holds the node's state lock (Node::lock_state); MolLayer's registered DMCS
+/// handlers take it, as does the PREMA runtime facade.
+
+namespace prema::mol {
+
+/// Per-node Mobile Object Layer state and protocol logic.
+class Mol {
+ public:
+  /// Callbacks into the layer above (the scheduler / PREMA runtime).
+  struct Hooks {
+    /// An application message was accepted in order for a local object.
+    std::function<void(Delivery&&)> on_delivery;
+    /// Surrender the not-yet-executed deliveries queued for `ptr`; they will
+    /// migrate with the object. May return an empty vector.
+    std::function<std::vector<Delivery>(const MobilePtr&)> take_queued;
+    /// An object (and its queued deliveries, re-announced via on_delivery)
+    /// arrived by migration.
+    std::function<void(const MobilePtr&)> on_installed;
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;        ///< in-order deliveries handed upward
+    std::uint64_t resequenced = 0;     ///< messages held in the reorder buffer
+    std::uint64_t forwards = 0;        ///< route messages passed along
+    std::uint64_t migrations_out = 0;
+    std::uint64_t migrations_in = 0;
+    std::uint64_t location_updates = 0;
+  };
+
+  Mol(dmcs::Node& node, const ObjectTypeRegistry& types,
+      dmcs::HandlerId route_h, dmcs::HandlerId migrate_h, dmcs::HandlerId update_h);
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Install a new local object and return its machine-unique mobile pointer
+  /// (home = this processor).
+  MobilePtr add_object(std::unique_ptr<MobileObject> obj);
+
+  /// Send an application message to the object named by `target`, wherever it
+  /// currently lives. `handler` is a PREMA-level object-handler id; `weight`
+  /// is the application's load hint for the resulting work unit.
+  void message(const MobilePtr& target, ObjectHandlerId handler,
+               std::vector<std::uint8_t> payload, double weight = 1.0);
+
+  /// Uninstall a local object and ship it — with its queued deliveries and
+  /// ordering state — to `dst`. The caller (balancing policy) must not
+  /// migrate an object whose work unit is currently executing.
+  void migrate(const MobilePtr& ptr, ProcId dst);
+
+  /// The local object named by `ptr`, or nullptr if it is not resident here.
+  [[nodiscard]] MobileObject* find(const MobilePtr& ptr);
+  [[nodiscard]] bool is_local(const MobilePtr& ptr) const;
+  [[nodiscard]] std::size_t local_count() const { return local_.size(); }
+  [[nodiscard]] std::vector<MobilePtr> local_ptrs() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] dmcs::Node& node() { return node_; }
+
+  /// DMCS handler bodies (invoked by MolLayer's registered handlers).
+  void on_route(dmcs::Message&& msg);
+  void on_migrate(dmcs::Message&& msg);
+  void on_location_update(dmcs::Message&& msg);
+
+ private:
+  struct Buffered {
+    ObjectHandlerId handler;
+    double weight;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct LocalEntry {
+    std::unique_ptr<MobileObject> obj;
+    std::uint64_t next_delivery = 0;
+    std::unordered_map<ProcId, std::uint32_t> expected;  ///< next seq per sender
+    std::map<std::pair<ProcId, std::uint32_t>, Buffered> reorder;
+  };
+
+  /// Best current guess for where `ptr` lives (never this processor).
+  [[nodiscard]] ProcId best_known(const MobilePtr& ptr) const;
+
+  void accept(const MobilePtr& ptr, LocalEntry& entry, ProcId origin,
+              std::uint32_t seq, Buffered&& msg);
+  void deliver(const MobilePtr& ptr, LocalEntry& entry, ProcId origin,
+               Buffered&& msg);
+  void send_route(ProcId dst, const MobilePtr& target, ProcId origin,
+                  std::uint32_t seq, std::uint32_t hops, ObjectHandlerId handler,
+                  double weight, std::vector<std::uint8_t>&& payload);
+  void learn(const MobilePtr& ptr, ProcId loc);
+
+  dmcs::Node& node_;
+  const ObjectTypeRegistry& types_;
+  dmcs::HandlerId route_h_, migrate_h_, update_h_;
+  Hooks hooks_;
+  Stats stats_;
+
+  std::uint32_t next_index_ = 0;
+  std::unordered_map<MobilePtr, LocalEntry> local_;
+  std::unordered_map<MobilePtr, ProcId> forwarding_;  ///< where it went from here
+  std::unordered_map<MobilePtr, ProcId> cache_;       ///< lazily learned locations
+  std::unordered_map<std::uint32_t, ProcId> home_dir_;  ///< authoritative, for our indices
+  std::unordered_map<MobilePtr, std::uint32_t> next_seq_out_;  ///< per target
+};
+
+/// Machine-wide MOL: registers the DMCS handlers once and owns one Mol per
+/// processor.
+class MolLayer {
+ public:
+  explicit MolLayer(dmcs::Machine& machine);
+
+  [[nodiscard]] Mol& at(ProcId p);
+  [[nodiscard]] ObjectTypeRegistry& types() { return types_; }
+
+ private:
+  ObjectTypeRegistry types_;
+  std::vector<std::unique_ptr<Mol>> nodes_;
+};
+
+}  // namespace prema::mol

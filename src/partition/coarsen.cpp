@@ -1,0 +1,100 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace prema::part {
+
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+CoarseLevel coarsen_once(const CsrGraph& g, util::Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  constexpr VertexId kUnmatched = -1;
+  std::vector<VertexId> match(static_cast<std::size_t>(n), kUnmatched);
+  for (const VertexId v : order) {
+    if (match[static_cast<std::size_t>(v)] != kUnmatched) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    VertexId best = kUnmatched;
+    double best_w = -1.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (match[static_cast<std::size_t>(u)] != kUnmatched) continue;
+      if (wgts[i] > best_w) {
+        best_w = wgts[i];
+        best = u;
+      }
+    }
+    if (best == kUnmatched) {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    } else {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  // Number coarse vertices.
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), kUnmatched);
+  VertexId coarse_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != kUnmatched) continue;
+    const VertexId m = match[static_cast<std::size_t>(v)];
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
+    level.fine_to_coarse[static_cast<std::size_t>(m)] = coarse_n;
+    ++coarse_n;
+  }
+
+  GraphBuilder b(coarse_n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    b.set_vertex_weight(cv, 0.0);
+  }
+  std::vector<double> cw(static_cast<std::size_t>(coarse_n), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    cw[static_cast<std::size_t>(level.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+  for (VertexId cv = 0; cv < coarse_n; ++cv) {
+    b.set_vertex_weight(cv, cw[static_cast<std::size_t>(cv)]);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= v) continue;  // each fine edge once
+      const VertexId cu = level.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
+      if (cu == cv) continue;  // contracted away
+      b.add_edge(cv, cu, wgts[i]);
+    }
+  }
+  level.graph = b.build();
+  return level;
+}
+
+std::vector<CoarseLevel> coarsen_to(const CsrGraph& g, VertexId target_vertices,
+                                    util::Rng& rng) {
+  std::vector<CoarseLevel> levels;
+  const CsrGraph* current = &g;
+  while (current->num_vertices() > target_vertices) {
+    CoarseLevel next = coarsen_once(*current, rng);
+    if (next.graph.num_vertices() >
+        static_cast<VertexId>(0.9 * current->num_vertices())) {
+      break;  // matching stalled (e.g. edgeless or star-like remainder)
+    }
+    levels.push_back(std::move(next));
+    current = &levels.back().graph;
+  }
+  return levels;
+}
+
+}  // namespace prema::part

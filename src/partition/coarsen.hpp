@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/rng.hpp"
+
+/// \file coarsen.hpp
+/// Multilevel coarsening via heavy-edge matching (HEM) — the first phase of
+/// the METIS-style partitioner (paper §3.1: "the graph is coarsened using a
+/// local variant of heavy-edge matching").
+
+namespace prema::part {
+
+/// One coarsening level: the coarse graph plus the fine->coarse vertex map.
+struct CoarseLevel {
+  graph::CsrGraph graph;
+  std::vector<graph::VertexId> fine_to_coarse;
+};
+
+/// Heavy-edge matching + contraction. Vertices are visited in random order;
+/// each unmatched vertex matches its unmatched neighbour along the heaviest
+/// edge. Returns the contracted graph; `fine_to_coarse[v]` names v's coarse
+/// vertex. Coarse vertex weights are sums; parallel edges are merged by
+/// summing weights.
+CoarseLevel coarsen_once(const graph::CsrGraph& g, util::Rng& rng);
+
+/// Repeatedly coarsen until the graph has at most `target_vertices` vertices
+/// or a level shrinks by less than 10% (diminishing returns). Returns the
+/// levels from finest to coarsest (empty if `g` is already small enough).
+std::vector<CoarseLevel> coarsen_to(const graph::CsrGraph& g,
+                                    graph::VertexId target_vertices,
+                                    util::Rng& rng);
+
+}  // namespace prema::part

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "graph/partition_metrics.hpp"
+#include "support/rng.hpp"
+
+/// \file refine.hpp
+/// Partition refinement passes: greedy boundary Kernighan-Lin/Fiduccia-
+/// Mattheyses-style moves. Used during uncoarsening (multilevel refinement,
+/// paper §3.1 step 3) and as the diffusive half of adaptive repartitioning.
+
+namespace prema::part {
+
+struct RefineOptions {
+  /// Maximum allowed max-part/mean-part weight ratio.
+  double imbalance_tolerance = 1.05;
+  /// Greedy passes over the boundary before giving up.
+  int max_passes = 8;
+  /// Weight on migration cost: moves away from `anchor` (if provided) pay
+  /// alpha * vertex_weight. Used by the unified repartitioner.
+  double alpha = 0.0;
+};
+
+/// Greedy k-way boundary refinement of `part` in place: repeatedly move
+/// boundary vertices to the adjacent part with the largest positive gain
+/// (reduction in cut minus alpha-weighted migration against `anchor`),
+/// subject to the balance tolerance. Returns the number of moves made.
+int refine_kway(const graph::CsrGraph& g, graph::Partition& part, int k,
+                const RefineOptions& opts,
+                const graph::Partition* anchor = nullptr);
+
+/// Balance-only pass: move vertices out of overweight parts into underweight
+/// ones (cheapest cut damage first) until the tolerance holds or no move
+/// helps. Returns moves made.
+int rebalance_kway(const graph::CsrGraph& g, graph::Partition& part, int k,
+                   const RefineOptions& opts);
+
+}  // namespace prema::part

@@ -1,0 +1,395 @@
+#include "prema/runtime.hpp"
+
+#include <utility>
+
+#include "ilb/policy.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace prema {
+
+using dmcs::Message;
+using dmcs::MsgKind;
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+constexpr std::uint8_t kTermReport = 1;
+constexpr std::uint8_t kTermProbe = 2;
+constexpr std::uint8_t kTermAck = 3;
+constexpr std::uint8_t kTermDone = 4;
+
+}  // namespace
+
+/// Per-processor runtime state.
+struct Runtime::NodeRt {
+  Context ctx;
+  dmcs::Node* node = nullptr;
+  mol::Mol* mol = nullptr;
+  ilb::Scheduler sched;
+  std::unique_ptr<ilb::Balancer> balancer;
+
+  // Slot for the work unit currently being executed (see exec_wrapper).
+  mol::Delivery current;
+  bool has_current = false;
+
+  // Termination-detection state.
+  std::uint64_t term_sent = 0;
+  std::uint64_t term_recv = 0;
+  std::int64_t reported_sent = -1;
+  std::int64_t reported_recv = -1;
+  bool did_work = true;  ///< activity since the last idle report
+
+  [[nodiscard]] std::uint64_t eff_sent() const {
+    return node->stats().sent - term_sent;
+  }
+  [[nodiscard]] std::uint64_t eff_recv() const {
+    return node->stats().received - term_recv;
+  }
+  [[nodiscard]] bool locally_quiet() const {
+    return !sched.has_work() && !node->executing() && node->inbox_size() == 0;
+  }
+};
+
+/// Rank-0 state for the counting-wave quiescence detector.
+struct Runtime::TermCoordinator {
+  std::vector<std::int64_t> sent;
+  std::vector<std::int64_t> recv;
+  int reported = 0;
+
+  std::uint64_t wave = 0;
+  bool wave_active = false;
+  int acks = 0;
+  bool all_idle = true;
+  std::uint64_t ack_sent_sum = 0;
+  std::uint64_t ack_recv_sum = 0;
+  std::uint64_t snap_sent_sum = 0;
+};
+
+class Runtime::NodeProgram final : public dmcs::Program {
+ public:
+  NodeProgram(Runtime& rt, NodeRt& node) : rt_(rt), node_(node) {}
+
+  void main(dmcs::Node&) override {
+    node_.balancer->init();
+    if (rt_.main_) rt_.main_(node_.ctx);
+  }
+
+  bool service(dmcs::Node& n) override {
+    auto lock = n.lock_state();
+    node_.balancer->poll();
+    auto d = node_.sched.pick();
+    if (!d) return false;
+    node_.current = std::move(*d);
+    node_.has_current = true;
+    lock.unlock();
+    n.execute(Message{rt_.exec_h_, n.rank(), MsgKind::kApp, {}}, [this, &n] {
+      auto g = n.lock_state();
+      node_.sched.complete();
+      node_.did_work = true;
+    });
+    {
+      auto g = n.lock_state();
+      node_.balancer->unit_started();
+    }
+    return true;
+  }
+
+  void on_idle(dmcs::Node& n) override {
+    auto g = n.lock_state();
+    node_.balancer->poll();
+    if (rt_.cfg_.termination_detection) rt_.term_on_idle(node_);
+  }
+
+ private:
+  Runtime& rt_;
+  NodeRt& node_;
+};
+
+Runtime::Runtime(dmcs::Machine& machine, RuntimeConfig cfg)
+    : machine_(machine), cfg_(std::move(cfg)) {
+  mol_layer_ = std::make_unique<mol::MolLayer>(machine_);
+
+  exec_h_ = machine_.registry().add("prema.exec", [this](dmcs::Node& n, Message&& m) {
+    exec_wrapper(n, std::move(m));
+  });
+  policy_h_ = machine_.registry().add("ilb.policy", [this](dmcs::Node& n, Message&& m) {
+    auto g = n.lock_state();
+    rt(n.rank()).balancer->on_wire(std::move(m));
+  });
+  term_h_ = machine_.registry().add("prema.term", [this](dmcs::Node& n, Message&& m) {
+    auto g = n.lock_state();
+    term_on_wire(rt(n.rank()), std::move(m));
+  });
+
+  term_ = std::make_unique<TermCoordinator>();
+  term_->sent.assign(static_cast<std::size_t>(machine_.nprocs()), -1);
+  term_->recv.assign(static_cast<std::size_t>(machine_.nprocs()), -1);
+
+  nodes_.reserve(static_cast<std::size_t>(machine_.nprocs()));
+  for (ProcId p = 0; p < machine_.nprocs(); ++p) {
+    auto node_rt = std::make_unique<NodeRt>();
+    node_rt->node = &machine_.node(p);
+    node_rt->mol = &mol_layer_->at(p);
+    node_rt->ctx.runtime_ = this;
+    node_rt->ctx.node_ = node_rt->node;
+    node_rt->ctx.mol_ = node_rt->mol;
+    node_rt->balancer = std::make_unique<ilb::Balancer>(
+        *node_rt->node, *node_rt->mol, node_rt->sched,
+        cfg_.policy_factory ? cfg_.policy_factory() : ilb::make_policy(cfg_.policy),
+        cfg_.balancer, policy_h_);
+    nodes_.push_back(std::move(node_rt));
+  }
+
+  for (ProcId p = 0; p < machine_.nprocs(); ++p) {
+    NodeRt* r = nodes_[static_cast<std::size_t>(p)].get();
+    mol::Mol::Hooks hooks;
+    hooks.on_delivery = [r](mol::Delivery&& d) {
+      r->sched.enqueue(std::move(d));
+      r->did_work = true;
+      r->balancer->work_arrived();
+    };
+    hooks.take_queued = [r](const mol::MobilePtr& ptr) {
+      return r->sched.take_queued(ptr);
+    };
+    hooks.on_installed = [r](const mol::MobilePtr&) {
+      r->did_work = true;
+      r->balancer->work_arrived();
+    };
+    r->mol->set_hooks(std::move(hooks));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Runtime::NodeRt& Runtime::rt(ProcId p) {
+  PREMA_CHECK_MSG(p >= 0 && p < static_cast<ProcId>(nodes_.size()), "bad rank");
+  return *nodes_[static_cast<std::size_t>(p)];
+}
+
+Context& Runtime::context(ProcId p) { return rt(p).ctx; }
+
+ilb::Scheduler& Runtime::scheduler_at(ProcId p) { return rt(p).sched; }
+
+ilb::Balancer& Runtime::balancer_at(ProcId p) { return *rt(p).balancer; }
+
+mol::ObjectHandlerId Runtime::register_object_handler(const std::string& name,
+                                                      ObjectHandler fn) {
+  PREMA_CHECK_MSG(!ran_, "handlers must be registered before run()");
+  for (const auto& existing : object_handler_names_) {
+    PREMA_CHECK_MSG(existing != name, "duplicate object-handler name");
+  }
+  object_handlers_.push_back(std::move(fn));
+  object_handler_names_.push_back(name);
+  return static_cast<mol::ObjectHandlerId>(object_handlers_.size());  // 1-based
+}
+
+void Runtime::exec_wrapper(dmcs::Node& n, Message&&) {
+  NodeRt& r = rt(n.rank());
+  mol::Delivery d;
+  mol::MobileObject* obj = nullptr;
+  {
+    auto g = n.lock_state();
+    PREMA_CHECK_MSG(r.has_current, "exec wrapper without a picked unit");
+    d = std::move(r.current);
+    r.has_current = false;
+    obj = r.mol->find(d.target);
+  }
+  PREMA_CHECK_MSG(obj != nullptr, "executing unit's object is not resident");
+  PREMA_CHECK_MSG(d.handler != 0 && d.handler <= object_handlers_.size(),
+                  "unknown object handler id");
+  ByteReader reader(d.payload);
+  object_handlers_[d.handler - 1](r.ctx, *obj, reader, d);
+}
+
+double Runtime::run() {
+  PREMA_CHECK_MSG(!ran_, "Runtime::run may only be called once");
+  ran_ = true;
+  return machine_.run([this](ProcId p) {
+    return std::make_unique<NodeProgram>(*this, rt(p));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence detection: counting waves (Mattern). Nodes report their
+// (sent, received) message counts — net of detector traffic — whenever they
+// go idle after doing something. When rank 0 sees balanced sums it probes
+// everyone; if every ack is idle with the same balanced sums, no application
+// message can be in flight (counts are monotone), and termination is certain.
+// ---------------------------------------------------------------------------
+
+void Runtime::term_send(ProcId from, ProcId to, std::vector<std::uint8_t> payload) {
+  NodeRt& r = rt(from);
+  ++r.term_sent;
+  // The matching receive is counted when the message is processed.
+  r.node->send(to, Message{term_h_, from, MsgKind::kSystem, std::move(payload)});
+}
+
+void Runtime::term_on_idle(NodeRt& r) {
+  const auto sent = static_cast<std::int64_t>(r.eff_sent());
+  const auto recv = static_cast<std::int64_t>(r.eff_recv());
+  if (!r.did_work && sent == r.reported_sent && recv == r.reported_recv) return;
+  r.did_work = false;
+  r.reported_sent = sent;
+  r.reported_recv = recv;
+  ByteWriter w;
+  w.put<std::uint8_t>(kTermReport);
+  w.put<std::int64_t>(sent);
+  w.put<std::int64_t>(recv);
+  if (r.node->rank() == 0) {
+    term_->sent[0] = sent;
+    term_->recv[0] = recv;
+    term_consider_wave(r);
+    return;
+  }
+  term_send(r.node->rank(), 0, w.take());
+}
+
+void Runtime::term_consider_wave(NodeRt& r0) {
+  PREMA_CHECK(r0.node->rank() == 0);
+  auto& c = *term_;
+  if (c.wave_active || term_detected_) return;
+  std::int64_t sent_sum = 0;
+  std::int64_t recv_sum = 0;
+  for (ProcId p = 0; p < static_cast<ProcId>(c.sent.size()); ++p) {
+    if (c.sent[static_cast<std::size_t>(p)] < 0 && p != 0) return;  // not all reported
+    sent_sum += std::max<std::int64_t>(0, c.sent[static_cast<std::size_t>(p)]);
+    recv_sum += std::max<std::int64_t>(0, c.recv[static_cast<std::size_t>(p)]);
+  }
+  if (c.sent[0] < 0) return;
+  PREMA_LOG_DEBUG("term: wave check sent=%lld recv=%lld", (long long)sent_sum,
+                  (long long)recv_sum);
+  if (sent_sum != recv_sum) return;
+
+  term_start_wave(r0, static_cast<std::uint64_t>(sent_sum));
+}
+
+void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
+  auto& c = *term_;
+  ++c.wave;
+  ++term_waves_;
+  c.wave_active = true;
+  c.acks = 0;
+  c.all_idle = true;
+  c.ack_sent_sum = 0;
+  c.ack_recv_sum = 0;
+  c.snap_sent_sum = snapshot;
+
+  ByteWriter w;
+  w.put<std::uint8_t>(kTermProbe);
+  w.put<std::uint64_t>(c.wave);
+  for (ProcId p = 1; p < static_cast<ProcId>(c.sent.size()); ++p) {
+    term_send(0, p, w.bytes());
+  }
+  // Rank 0 answers its own probe locally.
+  term_record_ack(r0, c.wave, r0.eff_sent(), r0.eff_recv(), r0.locally_quiet());
+}
+
+void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
+                              std::uint64_t recv, bool idle) {
+  auto& c = *term_;
+  if (!c.wave_active || wave != c.wave || term_detected_) return;
+  ++c.acks;
+  c.all_idle = c.all_idle && idle;
+  c.ack_sent_sum += sent;
+  c.ack_recv_sum += recv;
+  if (c.acks < static_cast<int>(c.sent.size())) return;
+  PREMA_LOG_DEBUG("term: wave %llu done idle=%d acks=%llu/%llu snap=%llu",
+                  (unsigned long long)wave, (int)c.all_idle,
+                  (unsigned long long)c.ack_sent_sum,
+                  (unsigned long long)c.ack_recv_sum,
+                  (unsigned long long)c.snap_sent_sum);
+  c.wave_active = false;
+  if (!c.all_idle || c.ack_sent_sum != c.ack_recv_sum) return;  // still active
+  if (c.ack_sent_sum == c.snap_sent_sum) {
+    // Two observations with identical monotone counts and every processor
+    // idle in between: nothing is in flight anywhere. Terminated.
+    term_detected_ = true;
+    ByteWriter w;
+    w.put<std::uint8_t>(kTermDone);
+    for (ProcId p = 1; p < static_cast<ProcId>(c.sent.size()); ++p) {
+      term_send(0, p, w.bytes());
+    }
+    // Locally wind down rank 0: no further balancing wakeups.
+    r0.balancer->stop();
+    r0.node->cancel_timers();
+    return;
+  }
+  // Balanced and idle but the counts moved past our snapshot (Mattern's
+  // stale-wave case): confirm with a fresh wave anchored at what we just saw.
+  term_start_wave(r0, c.ack_sent_sum);
+}
+
+void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
+  ++r.term_recv;
+  ByteReader reader(msg.payload);
+  const auto tag = reader.get<std::uint8_t>();
+  switch (tag) {
+    case kTermReport: {
+      PREMA_CHECK_MSG(r.node->rank() == 0, "termination report at non-coordinator");
+      const auto sent = reader.get<std::int64_t>();
+      const auto recv = reader.get<std::int64_t>();
+      auto& c = *term_;
+      c.sent[static_cast<std::size_t>(msg.src)] = sent;
+      c.recv[static_cast<std::size_t>(msg.src)] = recv;
+      term_consider_wave(r);
+      return;
+    }
+    case kTermProbe: {
+      const auto wave = reader.get<std::uint64_t>();
+      ByteWriter w;
+      w.put<std::uint8_t>(kTermAck);
+      w.put<std::uint64_t>(wave);
+      w.put<std::uint64_t>(r.eff_sent());
+      w.put<std::uint64_t>(r.eff_recv());
+      w.put<std::uint8_t>(r.locally_quiet() ? 1 : 0);
+      term_send(r.node->rank(), 0, w.take());
+      return;
+    }
+    case kTermAck: {
+      PREMA_CHECK_MSG(r.node->rank() == 0, "termination ack at non-coordinator");
+      const auto wave = reader.get<std::uint64_t>();
+      const auto sent = reader.get<std::uint64_t>();
+      const auto recv = reader.get<std::uint64_t>();
+      const bool idle = reader.get<std::uint8_t>() != 0;
+      term_record_ack(r, wave, sent, recv, idle);
+      return;
+    }
+    case kTermDone:
+      // The run is over: silence balancing retries so their timers do not
+      // keep the machine (and its idle clocks) running.
+      r.balancer->stop();
+      r.node->cancel_timers();
+      return;
+    default:
+      PREMA_CHECK_MSG(false, "unknown termination message tag");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+mol::MobilePtr Context::add_object(std::unique_ptr<mol::MobileObject> obj) {
+  auto g = node_->lock_state();
+  return mol_->add_object(std::move(obj));
+}
+
+void Context::message(const mol::MobilePtr& target, mol::ObjectHandlerId handler,
+                      std::vector<std::uint8_t> payload, double weight) {
+  auto g = node_->lock_state();
+  mol_->message(target, handler, std::move(payload), weight);
+}
+
+mol::MobileObject* Context::local(const mol::MobilePtr& ptr) {
+  auto g = node_->lock_state();
+  return mol_->find(ptr);
+}
+
+bool Context::is_local(const mol::MobilePtr& ptr) {
+  auto g = node_->lock_state();
+  return mol_->is_local(ptr);
+}
+
+}  // namespace prema

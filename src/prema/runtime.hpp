@@ -1,0 +1,153 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmcs/machine.hpp"
+#include "ilb/balancer.hpp"
+#include "ilb/scheduler.hpp"
+#include "mol/mol.hpp"
+
+/// \file runtime.hpp
+/// PREMA: the Parallel Runtime Environment for Multicomputer Applications —
+/// the paper's contribution, assembled from the substrates below it:
+///
+///   DMCS  (src/dmcs)  active messages, explicit/preemptive polling
+///   MOL   (src/mol)   global namespace, migration, forwarding, ordering
+///   ILB   (src/ilb)   scheduler + pluggable balancing policies
+///
+/// An application: registers mobile-object types and object handlers, gives
+/// each rank a main() that creates objects and sends them messages, then
+/// calls run(). Messages to objects become scheduled work units; the chosen
+/// policy moves objects (with their pending work) between processors; a
+/// Mattern-style quiescence detector confirms global termination.
+///
+/// See examples/quickstart.cpp for the paper's Figure 2 rendered against
+/// this API.
+
+namespace prema {
+
+class Runtime;
+
+/// Per-processor view handed to application code (main functions and object
+/// handlers). Thin veneer over the node + its MOL instance.
+class Context {
+ public:
+  [[nodiscard]] ProcId rank() const { return node_->rank(); }
+  [[nodiscard]] int nprocs() const { return node_->nprocs(); }
+  [[nodiscard]] double now() const { return node_->now(); }
+  [[nodiscard]] util::Rng& rng() { return node_->rng(); }
+  [[nodiscard]] Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] dmcs::Node& node() { return *node_; }
+
+  /// Install a new mobile object on this processor.
+  mol::MobilePtr add_object(std::unique_ptr<mol::MobileObject> obj);
+
+  /// Send an application message to a mobile object, wherever it lives. The
+  /// registered handler runs with the object when the destination scheduler
+  /// picks the resulting work unit. `weight` is the load hint the balancer
+  /// sees (the paper feeds deliberately inaccurate hints to study adaptivity).
+  void message(const mol::MobilePtr& target, mol::ObjectHandlerId handler,
+               std::vector<std::uint8_t> payload = {}, double weight = 1.0);
+
+  /// Account `mflop` Mflop of application computation (defines the enclosing
+  /// work unit's duration on the emulated machine; spins on the real one).
+  void compute(double mflop) {
+    node_->compute(mflop, util::TimeCategory::kComputation);
+  }
+
+  /// The local instance of `ptr`, or nullptr if it is not resident here.
+  [[nodiscard]] mol::MobileObject* local(const mol::MobilePtr& ptr);
+  [[nodiscard]] bool is_local(const mol::MobilePtr& ptr);
+
+ private:
+  friend class Runtime;
+  Runtime* runtime_ = nullptr;
+  dmcs::Node* node_ = nullptr;
+  mol::Mol* mol_ = nullptr;
+};
+
+/// Signature of an application object handler: runs on the processor that
+/// currently holds `obj`, with the message payload and delivery metadata.
+using ObjectHandler = std::function<void(Context&, mol::MobileObject&,
+                                         util::ByteReader&, const mol::Delivery&)>;
+
+struct RuntimeConfig {
+  ilb::BalancerConfig balancer;
+  /// Balancing policy registry name (see ilb::make_policy).
+  std::string policy = "work_stealing";
+  /// Overrides `policy` when set: builds one policy instance per processor
+  /// (for tuned parameters the registry defaults don't cover).
+  std::function<std::unique_ptr<ilb::Policy>()> policy_factory;
+  /// Run the quiescence detector (a few extra control messages).
+  bool termination_detection = true;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(dmcs::Machine& machine, RuntimeConfig cfg = {});
+  ~Runtime();  // out-of-line: NodeRt/TermCoordinator are incomplete here
+
+  /// Register a mobile-object factory (must happen on construction path,
+  /// before run(), identically on every build of the same application).
+  [[nodiscard]] mol::ObjectTypeRegistry& object_types() { return mol_layer_->types(); }
+
+  /// Register an application object handler under a stable name; returns the
+  /// id to pass to Context::message.
+  mol::ObjectHandlerId register_object_handler(const std::string& name,
+                                               ObjectHandler fn);
+
+  /// Per-rank application entry point, run once at start.
+  void set_main(std::function<void(Context&)> fn) { main_ = std::move(fn); }
+
+  /// Execute to quiescence; returns the makespan in seconds.
+  double run();
+
+  // -- post-run / introspection -------------------------------------------
+  [[nodiscard]] dmcs::Machine& machine() { return machine_; }
+  [[nodiscard]] Context& context(ProcId p);
+  [[nodiscard]] mol::Mol& mol_at(ProcId p) { return mol_layer_->at(p); }
+  [[nodiscard]] ilb::Scheduler& scheduler_at(ProcId p);
+  [[nodiscard]] ilb::Balancer& balancer_at(ProcId p);
+  [[nodiscard]] bool termination_detected() const { return term_detected_; }
+  [[nodiscard]] std::uint64_t termination_waves() const { return term_waves_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+
+ private:
+  class NodeProgram;
+  struct NodeRt;
+
+  // Termination detection (Mattern-style counting waves, coordinator rank 0).
+  struct TermCoordinator;
+  void term_send(ProcId from, ProcId to, std::vector<std::uint8_t> payload);
+  void term_on_idle(NodeRt& rt);
+  void term_on_wire(NodeRt& rt, dmcs::Message&& msg);
+  void term_consider_wave(NodeRt& r0);
+  void term_start_wave(NodeRt& r0, std::uint64_t snapshot);
+  void term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
+                       std::uint64_t recv, bool idle);
+
+  void exec_wrapper(dmcs::Node& n, dmcs::Message&& msg);
+  NodeRt& rt(ProcId p);
+
+  dmcs::Machine& machine_;
+  RuntimeConfig cfg_;
+  std::unique_ptr<mol::MolLayer> mol_layer_;
+  std::vector<std::unique_ptr<NodeRt>> nodes_;
+  std::vector<ObjectHandler> object_handlers_;
+  std::vector<std::string> object_handler_names_;
+  std::function<void(Context&)> main_;
+
+  dmcs::HandlerId exec_h_ = dmcs::kNoHandler;
+  dmcs::HandlerId policy_h_ = dmcs::kNoHandler;
+  dmcs::HandlerId term_h_ = dmcs::kNoHandler;
+
+  std::unique_ptr<TermCoordinator> term_;
+  bool term_detected_ = false;
+  std::uint64_t term_waves_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace prema

@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace prema::sim {
+
+EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  PREMA_CHECK_MSG(t >= 0.0, "event scheduled at negative time");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  live_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  // Ignore ids that already fired or were already cancelled; only a live,
+  // still-queued event turns into a tombstone.
+  if (live_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  --live_count_;
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  PREMA_CHECK_MSG(!heap_.empty(), "next_time on empty event queue");
+  return heap_.top().time;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::pop() {
+  skim();
+  PREMA_CHECK_MSG(!heap_.empty(), "pop on empty event queue");
+  // Move the entry out before firing: the callback may schedule new events,
+  // which would invalidate references into the heap.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  live_.erase(entry.id);
+  --live_count_;
+  return {entry.time, std::move(entry.fn)};
+}
+
+SimTime EventQueue::run_next() {
+  auto [time, fn] = pop();
+  fn();
+  return time;
+}
+
+}  // namespace prema::sim

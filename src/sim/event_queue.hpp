@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file event_queue.hpp
+/// Deterministic pending-event set. Events firing at equal times are ordered
+/// by insertion sequence number, so a run is a pure function of the seed and
+/// the program — the property every experiment in EXPERIMENTS.md relies on.
+
+namespace prema::sim {
+
+/// Handle that can be used to cancel a scheduled event (lazy cancellation).
+using EventId = std::uint64_t;
+
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to fire at absolute time `t`. Returns a cancellation id.
+  EventId schedule(SimTime t, std::function<void()> fn);
+
+  /// Lazily cancel a scheduled event. Cancelling an already-fired or unknown
+  /// id is allowed and does nothing.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and run the earliest live event, returning its time.
+  SimTime run_next();
+
+  /// Pop the earliest live event without running it. Lets the caller update
+  /// its notion of "now" before firing the callback.
+  std::pair<SimTime, std::function<void()>> pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  /// Pop cancelled entries off the top so the head is a live event.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;
+  std::size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace prema::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/types.hpp"
+
+/// \file network_model.hpp
+/// LogGP-flavoured cost model of the cluster interconnect. The paper's testbed
+/// was 128 nodes on switched Fast Ethernet under LAM/MPI; the defaults below
+/// are parameterized to that class of network. The model splits every message
+/// into (a) CPU overhead on the sender, (b) wire/transfer time, and (c) CPU
+/// overhead on the receiver — the CPU parts are what the figures charge to
+/// "Messaging Time".
+
+namespace prema::sim {
+
+struct NetworkModel {
+  /// One-way wire latency between any two nodes (switched network, flat).
+  double latency_s = 100e-6;
+  /// Sustained point-to-point bandwidth in bytes/second (Fast Ethernet ~100
+  /// Mbit/s minus protocol overhead).
+  double bandwidth_Bps = 11.0e6;
+  /// Fixed CPU cost on the sender per message (LAM/MPI send path, ~tens of us
+  /// on a 333 MHz UltraSPARC).
+  double send_overhead_s = 30e-6;
+  /// Fixed CPU cost on the receiver per message.
+  double recv_overhead_s = 30e-6;
+  /// Additional CPU cost per payload byte (packing/copy), both ends.
+  double per_byte_cpu_s = 4e-9;
+  /// Fixed size of the runtime's wire header, added to every payload.
+  std::size_t header_bytes = 64;
+
+  /// Time from "wire send" to "arrival at receiver NIC" for `bytes` of payload.
+  [[nodiscard]] double transfer_time(std::size_t payload_bytes) const {
+    return latency_s +
+           static_cast<double>(payload_bytes + header_bytes) / bandwidth_Bps;
+  }
+
+  /// CPU seconds charged on the sender for a message of `bytes` payload.
+  [[nodiscard]] double send_cpu(std::size_t payload_bytes) const {
+    return send_overhead_s + static_cast<double>(payload_bytes) * per_byte_cpu_s;
+  }
+
+  /// CPU seconds charged on the receiver for a message of `bytes` payload.
+  [[nodiscard]] double recv_cpu(std::size_t payload_bytes) const {
+    return recv_overhead_s + static_cast<double>(payload_bytes) * per_byte_cpu_s;
+  }
+};
+
+}  // namespace prema::sim

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Basic identifiers shared by the emulator and everything above it.
+
+namespace prema {
+
+/// Virtual processor rank, 0 .. nprocs-1 (the paper's "Processor ID" axis).
+using ProcId = std::int32_t;
+
+inline constexpr ProcId kNoProc = -1;
+
+namespace sim {
+
+/// Virtual time in seconds since the start of the run.
+using SimTime = double;
+
+}  // namespace sim
+}  // namespace prema

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Always-on invariant checks for the runtime. Unlike <cassert>, these fire in
+/// release builds too: a runtime system that silently corrupts its directory
+/// or message queues is worse than one that aborts loudly.
+
+namespace prema::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PREMA_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace prema::util
+
+/// Abort with a diagnostic if `expr` is false. Enabled in all build types.
+#define PREMA_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::prema::util::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+/// Like PREMA_CHECK but with an explanatory message.
+#define PREMA_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::prema::util::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,4 @@
+#include "support/byte_buffer.hpp"
+
+// Header-only today; this translation unit anchors the library and keeps a
+// place for out-of-line helpers if the wire format grows.

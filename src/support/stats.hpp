@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Descriptive statistics used by the experiment harness: the paper reports
+/// per-processor time breakdowns, the standard deviation of post-balance
+/// computation time (its load-quality metric), and overhead percentages.
+
+namespace prema::util {
+
+/// Single-pass accumulator (Welford) for mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n); matches how the paper characterizes
+  /// spread across the fixed set of 128 processors.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Compute a Summary over a sample (copies and sorts internally).
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+}  // namespace prema::util

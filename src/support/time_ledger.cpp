@@ -1,0 +1,47 @@
+#include "support/time_ledger.hpp"
+
+#include "support/assert.hpp"
+
+namespace prema::util {
+
+std::string_view time_category_name(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kComputation: return "Computation";
+    case TimeCategory::kCallback: return "Callback Routine";
+    case TimeCategory::kScheduling: return "Scheduling";
+    case TimeCategory::kMessaging: return "Messaging";
+    case TimeCategory::kPolling: return "Polling Thread";
+    case TimeCategory::kPartitionCalc: return "Partition Calculation";
+    case TimeCategory::kSynchronization: return "Synchronization";
+    case TimeCategory::kIdle: return "Idle";
+    case TimeCategory::kCount: break;
+  }
+  return "?";
+}
+
+void TimeLedger::charge(TimeCategory c, double seconds) {
+  PREMA_CHECK_MSG(seconds >= 0.0, "negative time charge");
+  PREMA_CHECK(c != TimeCategory::kCount);
+  buckets_[static_cast<std::size_t>(c)] += seconds;
+}
+
+double TimeLedger::total() const {
+  double t = 0.0;
+  for (double b : buckets_) t += b;
+  return t;
+}
+
+double TimeLedger::busy() const {
+  return total() - get(TimeCategory::kIdle);
+}
+
+double TimeLedger::overhead() const {
+  return busy() - get(TimeCategory::kComputation) - get(TimeCategory::kCallback);
+}
+
+TimeLedger& TimeLedger::operator+=(const TimeLedger& other) {
+  for (std::size_t i = 0; i < kTimeCategoryCount; ++i) buckets_[i] += other.buckets_[i];
+  return *this;
+}
+
+}  // namespace prema::util

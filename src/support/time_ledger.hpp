@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+/// \file time_ledger.hpp
+/// Per-processor accounting of where time goes. The categories are exactly the
+/// legend entries of the paper's Figures 3-6: each virtual processor charges
+/// every activity (or gap) to one category, and the benchmark harness prints
+/// the resulting stacked breakdown per processor.
+
+namespace prema::util {
+
+/// Activity categories appearing across all six panel types of Figs. 3-6.
+enum class TimeCategory : std::uint8_t {
+  kComputation = 0,   ///< useful application work (work-unit bodies)
+  kCallback,          ///< application handler/callback bodies outside work units
+  kScheduling,        ///< pick-and-process loop, queue management
+  kMessaging,         ///< per-message CPU send/receive overhead
+  kPolling,           ///< preemptive polling-thread wakeups (PREMA implicit)
+  kPartitionCalc,     ///< (re)partitioner execution (ParMETIS panels)
+  kSynchronization,   ///< barrier / all-to-all waits inserted for balancing
+  kIdle,              ///< no work and nothing arriving
+  kCount
+};
+
+constexpr std::size_t kTimeCategoryCount = static_cast<std::size_t>(TimeCategory::kCount);
+
+/// Human-readable label matching the paper's figure legends.
+std::string_view time_category_name(TimeCategory c);
+
+/// Accumulated seconds per category for one processor.
+class TimeLedger {
+ public:
+  /// Charge `seconds` (>= 0) to category `c`.
+  void charge(TimeCategory c, double seconds);
+
+  [[nodiscard]] double get(TimeCategory c) const {
+    return buckets_[static_cast<std::size_t>(c)];
+  }
+
+  /// Sum over all categories (equals the processor's finish time when every
+  /// instant has been charged somewhere).
+  [[nodiscard]] double total() const;
+
+  /// Total minus idle: the time the processor was actually doing something.
+  [[nodiscard]] double busy() const;
+
+  /// Everything that is neither computation/callback nor idle: the runtime
+  /// overhead the paper reports as a percentage of useful computation.
+  [[nodiscard]] double overhead() const;
+
+  void clear() { buckets_.fill(0.0); }
+
+  /// Element-wise accumulate another ledger into this one.
+  TimeLedger& operator+=(const TimeLedger& other);
+
+ private:
+  std::array<double, kTimeCategoryCount> buckets_{};
+};
+
+}  // namespace prema::util

@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dmcs/sim_machine.hpp"
+#include "dmcs/thread_machine.hpp"
+#include "support/byte_buffer.hpp"
+
+namespace prema::dmcs {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::TimeCategory;
+
+Message make_msg(HandlerId h, MsgKind kind, double value) {
+  ByteWriter w;
+  w.put<double>(value);
+  return Message{h, kNoProc, kind, w.take()};
+}
+
+double read_value(const Message& m) {
+  ByteReader r(m.payload);
+  return r.get<double>();
+}
+
+/// Minimal PREMA-style program: application messages become queued work units
+/// executed FIFO through Node::execute.
+class QueueProgram : public Program {
+ public:
+  std::function<void(QueueProgram&, Node&)> on_main;
+
+  void main(Node& n) override {
+    if (on_main) on_main(*this, n);
+  }
+  void deliver_app(Node&, Message&& m) override { queue_.push_back(std::move(m)); }
+  bool service(Node& n) override {
+    if (queue_.empty()) return false;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    n.execute(std::move(m), nullptr);
+    return true;
+  }
+
+  std::deque<Message> queue_;
+};
+
+struct Record {
+  ProcId rank;
+  double time;
+};
+
+struct Recorder {
+  std::mutex mu;
+  std::vector<Record> records;
+  void add(ProcId rank, double time) {
+    std::lock_guard<std::mutex> g(mu);
+    records.push_back({rank, time});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SimMachine
+// ---------------------------------------------------------------------------
+
+TEST(SimDmcs, PingPongRoundTrip) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 2;
+  SimMachine m(cfg);
+  Recorder rec;
+  HandlerId pong = m.registry().add("pong", [&](Node& n, Message&&) {
+    rec.add(n.rank(), n.now());
+  });
+  HandlerId ping = m.registry().add("ping", [&, pong](Node& n, Message&& msg) {
+    rec.add(n.rank(), n.now());
+    n.send(msg.src, Message{pong, kNoProc, MsgKind::kApp, {}});
+  });
+  const double makespan = m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [&, ping](QueueProgram&, Node& n) {
+        n.send(1, Message{ping, kNoProc, MsgKind::kApp, {}});
+      };
+    }
+    return prog;
+  });
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_EQ(rec.records[0].rank, 1);
+  EXPECT_EQ(rec.records[1].rank, 0);
+  // Two one-way trips, each at least the wire latency.
+  EXPECT_GE(makespan, 2 * cfg.net.latency_s);
+  EXPECT_GT(m.ledger(0).get(TimeCategory::kMessaging), 0.0);
+  EXPECT_GT(m.ledger(1).get(TimeCategory::kMessaging), 0.0);
+  EXPECT_EQ(m.sim_node(0).stats().sent, 1u);
+  EXPECT_EQ(m.sim_node(1).stats().sent, 1u);
+}
+
+TEST(SimDmcs, WorkUnitsChargeComputation) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 1;
+  SimMachine m(cfg);
+  HandlerId work = m.registry().add("work", [](Node& n, Message&& msg) {
+    n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+  });
+  const double makespan = m.run([&](ProcId) {
+    auto prog = std::make_unique<QueueProgram>();
+    prog->on_main = [work](QueueProgram& q, Node&) {
+      for (int i = 0; i < 3; ++i) q.queue_.push_back(make_msg(work, MsgKind::kApp, 0.1));
+    };
+    return prog;
+  });
+  EXPECT_NEAR(m.ledger(0).get(TimeCategory::kComputation), 0.3, 1e-9);
+  EXPECT_NEAR(makespan, 0.3, 1e-3);
+  EXPECT_EQ(m.sim_node(0).stats().work_units_executed, 3u);
+}
+
+TEST(SimDmcs, ExplicitModeDelaysSystemMessageUntilUnitEnds) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 2;
+  PollingConfig polling;  // explicit by default
+  SimMachine m(cfg, polling);
+  Recorder rec;
+  HandlerId work = m.registry().add("work", [](Node& n, Message&& msg) {
+    n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+  });
+  HandlerId sys = m.registry().add("sys", [&](Node& n, Message&&) {
+    rec.add(n.rank(), n.now());
+  });
+  m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(make_msg(work, MsgKind::kApp, 1.0));
+      };
+    } else {
+      prog->on_main = [sys](QueueProgram&, Node& n) {
+        n.send(0, Message{sys, kNoProc, MsgKind::kSystem, {}});
+      };
+    }
+    return prog;
+  });
+  ASSERT_EQ(rec.records.size(), 1u);
+  // The system message arrived ~130us in, but explicit polling only sees it
+  // after the 1s work unit completes.
+  EXPECT_GE(rec.records[0].time, 1.0);
+}
+
+TEST(SimDmcs, PreemptiveModeHandlesSystemMessageAtTick) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 2;
+  PollingConfig polling;
+  polling.mode = PollingMode::kPreemptive;
+  polling.interval_s = 0.01;
+  SimMachine m(cfg, polling);
+  Recorder rec;
+  HandlerId work = m.registry().add("work", [](Node& n, Message&& msg) {
+    n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+  });
+  HandlerId sys = m.registry().add("sys", [&](Node& n, Message&&) {
+    rec.add(n.rank(), n.now());
+  });
+  const double makespan = m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(make_msg(work, MsgKind::kApp, 1.0));
+      };
+    } else {
+      prog->on_main = [sys](QueueProgram&, Node& n) {
+        n.send(0, Message{sys, kNoProc, MsgKind::kSystem, {}});
+      };
+    }
+    return prog;
+  });
+  ASSERT_EQ(rec.records.size(), 1u);
+  // Handled at a polling tick: after arrival (~130us) but well before the 1s
+  // unit completes — within a few polling periods.
+  EXPECT_GT(rec.records[0].time, 100e-6);
+  EXPECT_LT(rec.records[0].time, 5 * polling.interval_s);
+  EXPECT_GT(m.ledger(0).get(TimeCategory::kPolling), 0.0);
+  // The unit still runs to completion.
+  EXPECT_GE(makespan, 1.0);
+  EXPECT_NEAR(m.ledger(0).get(TimeCategory::kComputation), 1.0, 1e-9);
+}
+
+TEST(SimDmcs, SilentTicksChargePollingInBulk) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 1;
+  PollingConfig polling;
+  polling.mode = PollingMode::kPreemptive;
+  polling.interval_s = 0.01;
+  polling.silent_tick_cost_s = 1e-6;
+  SimMachine m(cfg, polling);
+  HandlerId work = m.registry().add("work", [](Node& n, Message&& msg) {
+    n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+  });
+  m.run([&](ProcId) {
+    auto prog = std::make_unique<QueueProgram>();
+    prog->on_main = [work](QueueProgram& q, Node&) {
+      q.queue_.push_back(make_msg(work, MsgKind::kApp, 1.0));
+    };
+    return prog;
+  });
+  // ~100 ticks during the 1s unit, none with pending messages.
+  EXPECT_NEAR(m.ledger(0).get(TimeCategory::kPolling), 100e-6, 10e-6);
+}
+
+TEST(SimDmcs, WorkUnitSendsAreDeferredToCompletion) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 2;
+  SimMachine m(cfg);
+  Recorder rec;
+  HandlerId note = m.registry().add("note", [&](Node& n, Message&&) {
+    rec.add(n.rank(), n.now());
+  });
+  HandlerId work = m.registry().add("work", [note](Node& n, Message&& msg) {
+    n.send(1, Message{note, kNoProc, MsgKind::kApp, {}});  // sent "during" the unit
+    n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+  });
+  m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(make_msg(work, MsgKind::kApp, 0.5));
+      };
+    }
+    return prog;
+  });
+  ASSERT_EQ(rec.records.size(), 1u);
+  // The unit logically occupies [0, 0.5); its output message cannot be seen
+  // before the unit's span ends.
+  EXPECT_GE(rec.records[0].time, 0.5);
+}
+
+TEST(SimDmcs, ZeroCostUnitCompletesInline) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 1;
+  SimMachine m(cfg);
+  int completions = 0;
+  HandlerId work = m.registry().add("work", [](Node&, Message&&) {});
+  class P : public Program {
+   public:
+    P(HandlerId work, int* completions) : work_(work), completions_(completions) {}
+    void main(Node&) override { pending_ = 5; }
+    bool service(Node& n) override {
+      if (pending_ == 0) return false;
+      --pending_;
+      n.execute(Message{work_, kNoProc, MsgKind::kApp, {}}, [this] { ++*completions_; });
+      return true;
+    }
+
+   private:
+    HandlerId work_;
+    int* completions_;
+    int pending_ = 0;
+  };
+  const double makespan =
+      m.run([&](ProcId) { return std::make_unique<P>(work, &completions); });
+  EXPECT_EQ(completions, 5);
+  EXPECT_DOUBLE_EQ(makespan, 0.0);
+}
+
+TEST(SimDmcs, RunsAreDeterministic) {
+  auto run_once = [] {
+    sim::MachineConfig cfg;
+    cfg.nprocs = 8;
+    cfg.seed = 77;
+    SimMachine m(cfg);
+    HandlerId work = m.registry().add("work", [](Node& n, Message&& msg) {
+      n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+    });
+    const double makespan = m.run([&](ProcId p) {
+      auto prog = std::make_unique<QueueProgram>();
+      prog->on_main = [work, p](QueueProgram& q, Node& n) {
+        for (int i = 0; i < 10; ++i) {
+          q.queue_.push_back(make_msg(work, MsgKind::kApp, 0.001 * (p + 1)));
+          n.send((p + 1) % 8, make_msg(work, MsgKind::kApp, 0.002));
+        }
+      };
+      return prog;
+    });
+    return makespan;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(SimDmcs, IdleTailIsChargedToMakespan) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 2;
+  SimMachine m(cfg);
+  HandlerId work = m.registry().add("work", [](Node& n, Message&& msg) {
+    n.compute_seconds(read_value(msg), TimeCategory::kComputation);
+  });
+  const double makespan = m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(make_msg(work, MsgKind::kApp, 2.0));
+      };
+    }
+    return prog;
+  });
+  // Node 1 did nothing; its ledger must still sum to the makespan, all idle.
+  EXPECT_NEAR(m.ledger(1).total(), makespan, 1e-9);
+  EXPECT_NEAR(m.ledger(1).get(TimeCategory::kIdle), makespan, 1e-9);
+}
+
+TEST(SimDmcsDeathTest, NestedExecuteAborts) {
+  sim::MachineConfig cfg;
+  cfg.nprocs = 1;
+  auto boom = [&] {
+    SimMachine m(cfg);
+    HandlerId work = m.registry().add("work", [](Node& n, Message&&) {
+      n.execute(Message{1, kNoProc, MsgKind::kApp, {}}, nullptr);
+    });
+    m.run([&](ProcId) {
+      auto prog = std::make_unique<QueueProgram>();
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(make_msg(work, MsgKind::kApp, 0.1));
+      };
+      return prog;
+    });
+  };
+  EXPECT_DEATH(boom(), "work-unit body");
+}
+
+// ---------------------------------------------------------------------------
+// ThreadMachine
+// ---------------------------------------------------------------------------
+
+TEST(ThreadDmcs, PingPongRoundTrip) {
+  ThreadConfig cfg;
+  cfg.nprocs = 2;
+  ThreadMachine m(cfg);
+  std::atomic<int> pings{0}, pongs{0};
+  HandlerId pong = m.registry().add("pong", [&](Node&, Message&&) { ++pongs; });
+  HandlerId ping = m.registry().add("ping", [&, pong](Node& n, Message&& msg) {
+    ++pings;
+    n.send(msg.src, Message{pong, kNoProc, MsgKind::kApp, {}});
+  });
+  m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [ping](QueueProgram&, Node& n) {
+        n.send(1, Message{ping, kNoProc, MsgKind::kApp, {}});
+      };
+    }
+    return prog;
+  });
+  EXPECT_EQ(pings.load(), 1);
+  EXPECT_EQ(pongs.load(), 1);
+}
+
+TEST(ThreadDmcs, AllScatteredWorkExecutes) {
+  ThreadConfig cfg;
+  cfg.nprocs = 4;
+  ThreadMachine m(cfg);
+  std::atomic<int> executed{0};
+  HandlerId work = m.registry().add("work", [&](Node& n, Message&&) {
+    n.compute_seconds(1e-4, TimeCategory::kComputation);
+    ++executed;
+  });
+  m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram&, Node& n) {
+        for (int i = 0; i < 20; ++i) {
+          n.send(i % 4, Message{work, kNoProc, MsgKind::kApp, {}});
+        }
+      };
+    }
+    return prog;
+  });
+  EXPECT_EQ(executed.load(), 20);
+}
+
+TEST(ThreadDmcs, PreemptivePollingRunsSystemHandlerDuringWorkUnit) {
+  ThreadConfig cfg;
+  cfg.nprocs = 2;
+  cfg.polling.mode = PollingMode::kPreemptive;
+  cfg.polling.interval_s = 2e-3;
+  ThreadMachine m(cfg);
+  std::atomic<bool> was_executing{false};
+  std::atomic<int> sys_runs{0};
+  HandlerId sys = m.registry().add("sys", [&](Node& n, Message&&) {
+    was_executing.store(n.executing());
+    ++sys_runs;
+  });
+  HandlerId work = m.registry().add("work", [](Node& n, Message&&) {
+    n.compute_seconds(0.15, TimeCategory::kComputation);
+  });
+  m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(Message{work, kNoProc, MsgKind::kApp, {}});
+      };
+    } else {
+      prog->on_main = [sys](QueueProgram&, Node& n) {
+        n.send(0, Message{sys, kNoProc, MsgKind::kSystem, {}});
+      };
+    }
+    return prog;
+  });
+  EXPECT_EQ(sys_runs.load(), 1);
+  // The polling thread handled the system message while the 150ms work unit
+  // was still running on the worker thread.
+  EXPECT_TRUE(was_executing.load());
+}
+
+TEST(ThreadDmcs, ExplicitModeDefersSystemToWorker) {
+  ThreadConfig cfg;
+  cfg.nprocs = 2;
+  ThreadMachine m(cfg);
+  std::atomic<bool> was_executing{true};
+  HandlerId sys = m.registry().add("sys", [&](Node& n, Message&&) {
+    was_executing.store(n.executing());
+  });
+  HandlerId work = m.registry().add("work", [](Node& n, Message&&) {
+    n.compute_seconds(0.05, TimeCategory::kComputation);
+  });
+  m.run([&](ProcId p) {
+    auto prog = std::make_unique<QueueProgram>();
+    if (p == 0) {
+      prog->on_main = [work](QueueProgram& q, Node&) {
+        q.queue_.push_back(Message{work, kNoProc, MsgKind::kApp, {}});
+      };
+    } else {
+      prog->on_main = [sys](QueueProgram&, Node& n) {
+        n.send(0, Message{sys, kNoProc, MsgKind::kSystem, {}});
+      };
+    }
+    return prog;
+  });
+  // Without a polling thread, the system handler runs on the worker between
+  // units — never concurrently with one.
+  EXPECT_FALSE(was_executing.load());
+}
+
+}  // namespace
+}  // namespace prema::dmcs

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition_metrics.hpp"
+
+namespace prema::graph {
+namespace {
+
+TEST(CsrGraph, BuilderProducesSymmetricGraph) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  b.add_edge(0, 1, 1.0);  // duplicate: merged to weight 3
+  const CsrGraph g = b.build();
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  EXPECT_DOUBLE_EQ(g.edge_weights(0)[0], 3.0);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(CsrGraph, VertexWeights) {
+  GraphBuilder b(3, 2.0);
+  b.set_vertex_weight(1, 5.0);
+  const CsrGraph g = b.build();
+  EXPECT_DOUBLE_EQ(g.vertex_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 9.0);
+}
+
+TEST(CsrGraph, EdgelessFactory) {
+  const CsrGraph g = CsrGraph::edgeless(5, 1.5);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 7.5);
+}
+
+TEST(CsrGraphDeathTest, SelfLoopAborts) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.add_edge(1, 1), "self loops");
+}
+
+TEST(Generators, Grid2dStructure) {
+  const CsrGraph g = grid2d(4, 3);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 4 * 2);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+}
+
+TEST(Generators, Grid3dStructure) {
+  const CsrGraph g = grid3d(3, 3, 3);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 27);
+  EXPECT_EQ(g.degree(13), 6u);  // center cell
+  EXPECT_EQ(g.degree(0), 3u);   // corner
+}
+
+TEST(Generators, RandomGeometricIsDeterministic) {
+  util::Rng a(5), b(5);
+  const CsrGraph g1 = random_geometric(50, 0.2, a);
+  const CsrGraph g2 = random_geometric(50, 0.2, b);
+  g1.validate();
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+}
+
+TEST(Generators, RandomConnectedHasPathBackbone) {
+  util::Rng rng(7);
+  const CsrGraph g = random_connected(20, 10, rng);
+  g.validate();
+  EXPECT_GE(g.num_edges(), 19);
+  EXPECT_LE(g.num_edges(), 29);
+}
+
+TEST(Metrics, EdgeCutCountsCrossingWeightOnce) {
+  const CsrGraph g = grid2d(2, 2);  // square: 4 edges
+  Partition part = {0, 0, 1, 1};    // cut the two vertical edges
+  EXPECT_DOUBLE_EQ(edge_cut(g, part), 2.0);
+  Partition one = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(edge_cut(g, one), 0.0);
+}
+
+TEST(Metrics, MigrationVolumeWeighsMovedVertices) {
+  GraphBuilder b(3);
+  b.set_vertex_weight(0, 1.0);
+  b.set_vertex_weight(1, 2.0);
+  b.set_vertex_weight(2, 4.0);
+  const CsrGraph g = b.build();
+  Partition from = {0, 0, 1};
+  Partition to = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(migration_volume(g, from, to), 2.0);
+  EXPECT_DOUBLE_EQ(migration_volume(g, from, from), 0.0);
+}
+
+TEST(Metrics, ImbalanceRatio) {
+  const CsrGraph g = CsrGraph::edgeless(4);
+  Partition perfect = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(imbalance(g, perfect, 2), 1.0);
+  Partition skewed = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(imbalance(g, skewed, 2), 1.5);
+}
+
+TEST(Metrics, UnifiedCostCombinesCutAndMovement) {
+  const CsrGraph g = grid2d(2, 2);
+  Partition old_part = {0, 0, 1, 1};
+  Partition new_part = {0, 1, 1, 0};
+  const double cut = edge_cut(g, new_part);
+  const double move = migration_volume(g, old_part, new_part);
+  EXPECT_DOUBLE_EQ(unified_cost(g, old_part, new_part, 2.0), cut + 2.0 * move);
+}
+
+}  // namespace
+}  // namespace prema::graph

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mesh/advancing_front.hpp"
+#include "mesh/geometry.hpp"
+#include "mesh/sizing.hpp"
+#include "mesh/spatial_grid.hpp"
+#include "mesh/subdomain.hpp"
+
+namespace prema::mesh {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vec3{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vec3{3, 3, 3}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+  EXPECT_NEAR(norm(normalized(b)), 1.0, 1e-12);
+}
+
+TEST(Geometry, SignedVolumeOrientation) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  EXPECT_NEAR(signed_volume(a, b, c, d), 1.0 / 6.0, 1e-15);
+  EXPECT_NEAR(signed_volume(a, c, b, d), -1.0 / 6.0, 1e-15);
+}
+
+TEST(Geometry, TriangleMeasures) {
+  const Vec3 a{0, 0, 0}, b{2, 0, 0}, c{0, 2, 0};
+  EXPECT_DOUBLE_EQ(triangle_area(a, b, c), 2.0);
+  EXPECT_EQ(triangle_normal(a, b, c), (Vec3{0, 0, 1}));
+  EXPECT_EQ(triangle_centroid(a, b, c), (Vec3{2.0 / 3, 2.0 / 3, 0}));
+}
+
+TEST(Geometry, RegularTetHasUnitQuality) {
+  // Regular tetrahedron with edge sqrt(2) (positively oriented).
+  const Vec3 a{1, 1, 1}, b{0, 1, 0}, c{1, 0, 0}, d{0, 0, 1};
+  EXPECT_NEAR(tet_quality(a, b, c, d), 1.0, 1e-9);
+  // A sliver scores near zero.
+  EXPECT_LT(tet_quality({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0.5, 0.5, 1e-6}), 0.01);
+}
+
+TEST(Geometry, Circumsphere) {
+  const Vec3 a{1, 0, 0}, b{-1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  Vec3 center;
+  double r2 = 0;
+  ASSERT_TRUE(tet_circumsphere(a, b, c, d, center, r2));
+  EXPECT_NEAR(center.x, 0.0, 1e-12);
+  EXPECT_NEAR(r2, 1.0, 1e-9);
+  // Degenerate (coplanar) tets have none.
+  EXPECT_FALSE(tet_circumsphere({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}, center, r2));
+}
+
+TEST(Geometry, PointInTet) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  EXPECT_TRUE(point_in_tet({0.1, 0.1, 0.1}, a, b, c, d));
+  EXPECT_FALSE(point_in_tet({1, 1, 1}, a, b, c, d));
+  EXPECT_FALSE(point_in_tet(a, a, b, c, d));  // vertex is not strictly inside
+}
+
+TEST(Geometry, SegmentTriangleIntersection) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  EXPECT_TRUE(segment_intersects_triangle({0.2, 0.2, -1}, {0.2, 0.2, 1}, a, b, c));
+  EXPECT_FALSE(segment_intersects_triangle({2, 2, -1}, {2, 2, 1}, a, b, c));
+  // Coplanar segments do not "properly" intersect.
+  EXPECT_FALSE(segment_intersects_triangle({-1, 0.2, 0}, {2, 0.2, 0}, a, b, c));
+}
+
+TEST(Geometry, CoplanarOverlap) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  // Half-squares split along *different* diagonals: proper overlap.
+  EXPECT_TRUE(coplanar_triangles_overlap(a, b, c, {1, 1, 0}, {0, 0, 0}, {1, 0, 0}));
+  // Shares just an edge: no overlap.
+  EXPECT_FALSE(coplanar_triangles_overlap(a, b, c, b, {1, 1, 0}, c));
+  // Different plane: no.
+  EXPECT_FALSE(coplanar_triangles_overlap(a, b, c, {0, 0, 1}, {1, 0, 1}, {0, 1, 1}));
+}
+
+TEST(SpatialGrid, InsertQueryRemove) {
+  SpatialGrid g(0.5);
+  g.insert(1, {0.1, 0.1, 0.1});
+  g.insert(2, {0.9, 0.9, 0.9});
+  g.insert(3, {0.15, 0.1, 0.1});
+  EXPECT_EQ(g.size(), 3u);
+  auto near = g.query_ball({0.1, 0.1, 0.1}, 0.2);
+  std::set<std::int32_t> s(near.begin(), near.end());
+  EXPECT_EQ(s, (std::set<std::int32_t>{1, 3}));
+  EXPECT_EQ(g.nearest({0.14, 0.1, 0.1}, 1.0), 3);
+  g.remove(3, {0.15, 0.1, 0.1});
+  EXPECT_EQ(g.nearest({0.14, 0.1, 0.1}, 1.0), 1);
+}
+
+TEST(SpatialGridDeathTest, RemovingUnknownAborts) {
+  SpatialGrid g(1.0);
+  EXPECT_DEATH(g.remove(7, {0, 0, 0}), "never saw");
+}
+
+TEST(Sizing, CrackTipGradesFromMinToMax) {
+  CrackTipSizing s({0.5, 0.5, 0.5}, 0.01, 0.2, 0.3);
+  EXPECT_DOUBLE_EQ(s.size_at({0.5, 0.5, 0.5}), 0.01);
+  EXPECT_DOUBLE_EQ(s.size_at({0.5, 0.5, 0.9}), 0.2);  // beyond the radius
+  const double mid = s.size_at({0.5, 0.5, 0.65});     // halfway out
+  EXPECT_GT(mid, 0.01);
+  EXPECT_LT(mid, 0.2);
+}
+
+TEST(BoxSurface, ClosedOrientedInward) {
+  std::vector<Vec3> pts;
+  std::vector<Face> faces;
+  box_surface({0, 0, 0}, {2, 1, 1}, 3, pts, faces);
+  EXPECT_EQ(faces.size(), 6u * 3 * 3 * 2);
+  const Vec3 center{1.0, 0.5, 0.5};
+  double enclosed = 0.0;
+  for (const auto& f : faces) {
+    const double v = signed_volume(pts[static_cast<std::size_t>(f.v[0])],
+                                   pts[static_cast<std::size_t>(f.v[1])],
+                                   pts[static_cast<std::size_t>(f.v[2])], center);
+    EXPECT_GT(v, 0.0);  // every normal points inward
+    enclosed += v;
+  }
+  // Cone volumes from the center over a closed surface sum to the volume.
+  EXPECT_NEAR(enclosed, 2.0, 1e-9);
+  // Every edge appears exactly twice (closed 2-manifold).
+  std::map<std::pair<PointId, PointId>, int> edges;
+  for (const auto& f : faces) {
+    for (int e = 0; e < 3; ++e) {
+      auto u = f.v[static_cast<std::size_t>(e)];
+      auto v = f.v[static_cast<std::size_t>((e + 1) % 3)];
+      if (u > v) std::swap(u, v);
+      edges[{u, v}]++;
+    }
+  }
+  for (const auto& [k, count] : edges) EXPECT_EQ(count, 2);
+}
+
+TEST(InteriorPoints, DensityFollowsSizing) {
+  UniformSizing coarse(0.5), fine(0.12);
+  const auto few = interior_points({0, 0, 0}, {1, 1, 1}, coarse);
+  const auto many = interior_points({0, 0, 0}, {1, 1, 1}, fine);
+  EXPECT_GT(many.size(), 4 * few.size());
+  for (const auto& p : many) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+    EXPECT_GT(p.z, 0.0);
+    EXPECT_LT(p.z, 1.0);
+  }
+}
+
+class MesherSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MesherSweep, FillsTheBoxExactly) {
+  const int div = GetParam();
+  std::vector<Vec3> pts;
+  std::vector<Face> faces;
+  box_surface({0, 0, 0}, {1, 1, 1}, div, pts, faces);
+  UniformSizing sizing(1.0 / div);
+  auto interior = interior_points({0, 0, 0}, {1, 1, 1}, sizing);
+  pts.insert(pts.end(), interior.begin(), interior.end());
+  AdvancingFront aft(std::move(pts), std::move(faces));
+  const AftStats stats = aft.run();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(aft.front_size(), 0u);
+  EXPECT_NEAR(aft.mesh().total_volume(), 1.0, 1e-9);
+  EXPECT_GT(stats.tets_created, 0);
+  // Every tet positively oriented.
+  EXPECT_GT(aft.mesh().min_quality(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisions, MesherSweep, ::testing::Values(2, 3, 4, 6));
+
+TEST(Mesher, AdaptiveSizingCreatesMoreElementsNearTheTip) {
+  auto run_with_tip = [](const Vec3& tip) {
+    std::vector<Vec3> pts;
+    std::vector<Face> faces;
+    box_surface({0, 0, 0}, {1, 1, 1}, 4, pts, faces);
+    CrackTipSizing sizing(tip, 0.04, 0.25, 0.3);
+    auto interior = interior_points({0, 0, 0}, {1, 1, 1}, sizing);
+    pts.insert(pts.end(), interior.begin(), interior.end());
+    AdvancingFront aft(std::move(pts), std::move(faces));
+    const auto stats = aft.run();
+    EXPECT_TRUE(stats.completed);
+    EXPECT_NEAR(aft.mesh().total_volume(), 1.0, 1e-9);
+    return stats.tets_created;
+  };
+  const auto inside = run_with_tip({0.5, 0.5, 0.5});
+  const auto outside = run_with_tip({5.0, 5.0, 5.0});  // far away: no refinement
+  EXPECT_GT(inside, 2 * outside);
+}
+
+TEST(Mesher, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    std::vector<Vec3> pts;
+    std::vector<Face> faces;
+    box_surface({0, 0, 0}, {1, 1, 1}, 3, pts, faces, 42);
+    UniformSizing sizing(0.3);
+    auto interior = interior_points({0, 0, 0}, {1, 1, 1}, sizing, 42);
+    pts.insert(pts.end(), interior.begin(), interior.end());
+    AdvancingFront aft(std::move(pts), std::move(faces));
+    aft.run();
+    return aft.mesh().tets.size();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Subdomain, RefineAccumulatesAndSerializes) {
+  MeshSubdomain sub({0, 0, 0}, {0.25, 0.25, 0.25}, 3, 7);
+  UniformSizing sizing(0.08);
+  const auto s1 = sub.refine(sizing);
+  EXPECT_TRUE(s1.completed);
+  EXPECT_GT(sub.total_tets(), 0);
+  EXPECT_EQ(sub.phases_done(), 1);
+  EXPECT_NEAR(sub.last_mesh().total_volume(), 0.25 * 0.25 * 0.25, 1e-9);
+
+  util::ByteWriter w;
+  sub.serialize(w);
+  util::ByteReader r(w.bytes());
+  auto copy = MeshSubdomain::deserialize(r);
+  auto& sub2 = static_cast<MeshSubdomain&>(*copy);
+  EXPECT_EQ(sub2.total_tets(), sub.total_tets());
+  EXPECT_EQ(sub2.phases_done(), 1);
+  EXPECT_EQ(sub2.last_mesh().tets.size(), sub.last_mesh().tets.size());
+
+  // Refinement continues on the deserialized copy (the migrated object).
+  const auto s2 = sub2.refine(sizing);
+  EXPECT_TRUE(s2.completed);
+  EXPECT_EQ(sub2.phases_done(), 2);
+}
+
+TEST(Subdomain, CrackWalkStaysInDomain) {
+  for (int phase = 0; phase < 50; ++phase) {
+    const Vec3 tip = crack_tip_position(phase, 99);
+    EXPECT_GT(tip.x, 0.0);
+    EXPECT_LT(tip.x, 1.0);
+    EXPECT_GT(tip.y, 0.0);
+    EXPECT_LT(tip.y, 1.0);
+    EXPECT_GT(tip.z, 0.0);
+    EXPECT_LT(tip.z, 1.0);
+  }
+  // Different phases land in different places.
+  EXPECT_NE(crack_tip_position(0, 99), crack_tip_position(1, 99));
+}
+
+TEST(Subdomain, RefineCostScalesWithElements) {
+  EXPECT_GT(refine_cost_mflop(10000), refine_cost_mflop(100));
+  EXPECT_GT(refine_cost_mflop(1), 0.0);
+}
+
+}  // namespace
+}  // namespace prema::mesh

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network_model.hpp"
+
+namespace prema::sim {
+namespace {
+
+using util::TimeCategory;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSuppressesEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelOfFiredEventIsHarmless) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.run_next();
+  q.cancel(a);  // already fired
+  q.cancel(kNoEvent);
+  EXPECT_TRUE(q.empty());
+  // A fresh event still works and counts correctly.
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(1.0);
+    q.schedule(1.5, [&] { times.push_back(1.5); });
+  });
+  while (!q.empty()) times.push_back(q.next_time()), q.run_next();
+  // next_time observed before each run: 1.0, then 1.5
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(NetworkModel, CostsScaleWithSize) {
+  NetworkModel net;
+  EXPECT_GT(net.transfer_time(100000), net.transfer_time(100));
+  EXPECT_GT(net.send_cpu(100000), net.send_cpu(0));
+  EXPECT_GT(net.recv_cpu(100000), net.recv_cpu(0));
+  // Latency floor: even an empty message takes at least the wire latency.
+  EXPECT_GE(net.transfer_time(0), net.latency_s);
+}
+
+TEST(Engine, ComputeSecondsConversion) {
+  MachineConfig cfg;
+  cfg.mflops = 333.0;
+  EXPECT_NEAR(cfg.compute_seconds(500.0), 1.5015, 1e-3);
+}
+
+TEST(Engine, ProcAdvanceChargesLedger) {
+  MachineConfig cfg;
+  cfg.nprocs = 2;
+  Engine eng(cfg);
+  eng.proc(0).advance(TimeCategory::kComputation, 2.5);
+  EXPECT_DOUBLE_EQ(eng.proc(0).clock(), 2.5);
+  EXPECT_DOUBLE_EQ(eng.proc(0).ledger().get(TimeCategory::kComputation), 2.5);
+  EXPECT_DOUBLE_EQ(eng.proc(1).clock(), 0.0);
+}
+
+TEST(Engine, CatchUpChargesGapOnce) {
+  MachineConfig cfg;
+  cfg.nprocs = 1;
+  Engine eng(cfg);
+  eng.proc(0).catch_up(3.0);
+  eng.proc(0).catch_up(2.0);  // already past; no-op
+  EXPECT_DOUBLE_EQ(eng.proc(0).clock(), 3.0);
+  EXPECT_DOUBLE_EQ(eng.proc(0).ledger().get(TimeCategory::kIdle), 3.0);
+}
+
+TEST(Engine, CatchUpHonoursWaitCategory) {
+  MachineConfig cfg;
+  cfg.nprocs = 1;
+  Engine eng(cfg);
+  eng.proc(0).catch_up(1.0, TimeCategory::kSynchronization);
+  EXPECT_DOUBLE_EQ(eng.proc(0).ledger().get(TimeCategory::kSynchronization), 1.0);
+  EXPECT_DOUBLE_EQ(eng.proc(0).ledger().get(TimeCategory::kIdle), 0.0);
+}
+
+TEST(Engine, RunDrainsQueueAndReportsStats) {
+  MachineConfig c1; c1.nprocs = 1; Engine eng(c1);
+  int fired = 0;
+  eng.at(1.0, [&] { ++fired; });
+  eng.after(2.0, [&] { ++fired; });
+  const RunStats stats = eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_DOUBLE_EQ(stats.end_time, 2.0);
+  EXPECT_FALSE(stats.hit_event_limit);
+}
+
+TEST(Engine, EventLimitStopsRunawayLoop) {
+  MachineConfig c1; c1.nprocs = 1; Engine eng(c1);
+  std::function<void()> loop = [&] { eng.after(1.0, loop); };
+  eng.at(0.0, loop);
+  const RunStats stats = eng.run(/*max_events=*/100);
+  EXPECT_TRUE(stats.hit_event_limit);
+  EXPECT_EQ(stats.events, 100u);
+}
+
+TEST(Engine, TimeLimitStopsRun) {
+  MachineConfig c1; c1.nprocs = 1; Engine eng(c1);
+  std::function<void()> loop = [&] { eng.after(1.0, loop); };
+  eng.at(0.0, loop);
+  const RunStats stats = eng.run(UINT64_MAX, /*max_time=*/10.0);
+  EXPECT_TRUE(stats.hit_time_limit);
+  EXPECT_LE(stats.end_time, 10.0);
+}
+
+TEST(Engine, PerProcRngStreamsAreIndependent) {
+  MachineConfig cfg;
+  cfg.nprocs = 2;
+  cfg.seed = 42;
+  Engine a(cfg), b(cfg);
+  EXPECT_EQ(a.proc(0).rng().next(), b.proc(0).rng().next());
+  Engine c(cfg);
+  EXPECT_NE(c.proc(0).rng().next(), c.proc(1).rng().next());
+}
+
+TEST(EngineDeathTest, PastEventAborts) {
+  MachineConfig c1; c1.nprocs = 1; Engine eng(c1);
+  eng.at(5.0, [] {});
+  eng.run();
+  EXPECT_DEATH(eng.at(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace prema::sim

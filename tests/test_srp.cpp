@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_support/stop_repartition.hpp"
+#include "dmcs/sim_machine.hpp"
+
+namespace prema::srp {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::TimeCategory;
+
+class Unit : public mol::MobileObject {
+ public:
+  explicit Unit(double m = 0.0) : mflop_(m) {}
+  [[nodiscard]] std::uint32_t type_id() const override { return 1; }
+  void serialize(ByteWriter& w) const override { w.put<double>(mflop_); }
+  static std::unique_ptr<mol::MobileObject> make(ByteReader& r) {
+    return std::make_unique<Unit>(r.get<double>());
+  }
+  double mflop_;
+};
+
+struct SrpRun {
+  double makespan = 0.0;
+  std::int64_t executed = 0;
+  int exchanges = 0;
+  int repartitions = 0;
+  std::uint64_t migrations = 0;
+  double sync_total = 0.0;
+  double partition_total = 0.0;
+};
+
+/// Rank 0 heavy (4x unit weight), everyone has `units` units.
+SrpRun run_srp(int nprocs, int units, double heavy_factor, SrpConfig scfg) {
+  sim::MachineConfig mcfg;
+  mcfg.nprocs = nprocs;
+  mcfg.mflops = 1000.0;  // 1 Mflop == 1 ms
+  dmcs::SimMachine machine(mcfg);
+  Runtime rt(machine, scfg);
+  rt.object_types().add(1, Unit::make);
+  std::int64_t executed = 0;
+  const auto work = rt.register_object_handler(
+      "work", [&executed](Context& ctx, mol::MobileObject& obj, ByteReader&,
+                          const mol::Delivery&) {
+        ctx.compute(static_cast<Unit&>(obj).mflop_);
+        ++executed;
+      });
+  rt.set_total_units(static_cast<std::int64_t>(nprocs) * units);
+  rt.set_main([work, units, heavy_factor](Context& ctx) {
+    const double mflop = ctx.rank() < ctx.nprocs() / 4 + 1 ? 50.0 * heavy_factor : 50.0;
+    for (int i = 0; i < units; ++i) {
+      ctx.message(ctx.add_object(std::make_unique<Unit>(mflop)), work, {}, 1.0);
+    }
+  });
+  SrpRun res;
+  res.makespan = rt.run();
+  res.executed = executed;
+  res.exchanges = rt.exchanges();
+  res.repartitions = rt.repartitions();
+  res.migrations = rt.migrations();
+  for (ProcId p = 0; p < nprocs; ++p) {
+    res.sync_total += machine.ledger(p).get(TimeCategory::kSynchronization);
+    res.partition_total += machine.ledger(p).get(TimeCategory::kPartitionCalc);
+  }
+  return res;
+}
+
+TEST(StopRepartition, RebalancesABigImbalance) {
+  SrpConfig scfg;
+  scfg.cooldown_s = 0.5;
+  const auto r = run_srp(8, 64, 6.0, scfg);
+  EXPECT_EQ(r.executed, 8 * 64);
+  EXPECT_GE(r.repartitions, 1);
+  EXPECT_GT(r.migrations, 0u);
+  EXPECT_GT(r.sync_total, 0.0);
+  EXPECT_GT(r.partition_total, 0.0);
+  // No balancing at all would take ~19.2s (300 heavy units of 64ms... sanity:
+  // 64 units x 300 Mflop/...); just require a real improvement over the
+  // unbalanced bound and completion above the balanced bound.
+  SrpConfig off = scfg;
+  off.low_watermark = -1.0;  // never notify: the no-balancing control
+  const auto control = run_srp(8, 64, 6.0, off);
+  EXPECT_EQ(control.repartitions, 0);
+  EXPECT_LT(r.makespan, 0.8 * control.makespan);
+}
+
+TEST(StopRepartition, DeclinesWhenLittleWorkRemains) {
+  SrpConfig scfg;
+  scfg.cooldown_s = 0.2;
+  scfg.min_outstanding_fraction = 0.95;  // effectively: always too late
+  const auto r = run_srp(8, 32, 4.0, scfg);
+  EXPECT_EQ(r.executed, 8 * 32);
+  EXPECT_GT(r.exchanges, 0);        // it kept synchronizing...
+  EXPECT_EQ(r.repartitions, 0);     // ...but never moved anything
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_GT(r.sync_total, 0.0);     // and the barrier bill was still paid
+}
+
+TEST(StopRepartition, CooldownBoundsExchangeRate) {
+  SrpConfig fast;
+  fast.cooldown_s = 0.1;
+  fast.min_outstanding_fraction = 0.95;  // every exchange declines
+  SrpConfig slow = fast;
+  slow.cooldown_s = 5.0;
+  const auto many = run_srp(8, 32, 4.0, fast);
+  const auto few = run_srp(8, 32, 4.0, slow);
+  EXPECT_GT(many.exchanges, few.exchanges);
+}
+
+TEST(StopRepartition, QuiescesWithoutImbalance) {
+  SrpConfig scfg;
+  const auto r = run_srp(4, 16, 1.0, scfg);  // perfectly balanced
+  EXPECT_EQ(r.executed, 64);
+  EXPECT_EQ(r.migrations, 0u);
+}
+
+}  // namespace
+}  // namespace prema::srp

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/byte_buffer.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/time_ledger.hpp"
+
+namespace prema::util {
+namespace {
+
+TEST(ByteBuffer, RoundTripsScalars) {
+  ByteWriter w;
+  w.put<std::uint32_t>(42);
+  w.put<double>(3.25);
+  w.put<std::int8_t>(-7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 42u);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::int8_t>(), -7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, RoundTripsStringsAndVectors) {
+  ByteWriter w;
+  w.put_string("mobile object layer");
+  w.put_vector<std::uint16_t>({1, 2, 3, 65535});
+  w.put_string("");
+  w.put_bytes(std::vector<std::uint8_t>{9, 8, 7});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "mobile object layer");
+  EXPECT_EQ(r.get_vector<std::uint16_t>(), (std::vector<std::uint16_t>{1, 2, 3, 65535}));
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_bytes(), (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, NestedPayloadRoundTrips) {
+  // The MOL wraps application payloads inside its own envelope this way.
+  ByteWriter inner;
+  inner.put<std::uint64_t>(123456789ULL);
+  ByteWriter outer;
+  outer.put<std::uint32_t>(7);
+  outer.put_bytes(inner.bytes());
+  ByteReader r(outer.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 7u);
+  auto inner_bytes = r.get_bytes();
+  ByteReader ri(inner_bytes);
+  EXPECT_EQ(ri.get<std::uint64_t>(), 123456789ULL);
+}
+
+TEST(ByteBufferDeathTest, OverrunAborts) {
+  ByteWriter w;
+  w.put<std::uint16_t>(1);
+  ByteReader r(w.bytes());
+  (void)r.get<std::uint16_t>();
+  EXPECT_DEATH((void)r.get<std::uint32_t>(), "overrun");
+}
+
+TEST(ByteBuffer, TakeLeavesWriterEmpty) {
+  ByteWriter w;
+  w.put<int>(5);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), sizeof(int));
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const double v = r.uniform(2.0, 5.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, RangeCoversEndpoints) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.range(3, 6);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 6);
+    saw_lo |= x == 3;
+    saw_hi |= x == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(99);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic example set
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 2.5);
+}
+
+TEST(Stats, SummarizeAggregates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 30.0);
+  EXPECT_DOUBLE_EQ(s.p50, 20.0);
+  EXPECT_DOUBLE_EQ(s.sum, 60.0);
+}
+
+TEST(TimeLedger, ChargesAccumulatePerCategory) {
+  TimeLedger l;
+  l.charge(TimeCategory::kComputation, 2.0);
+  l.charge(TimeCategory::kComputation, 1.0);
+  l.charge(TimeCategory::kIdle, 4.0);
+  l.charge(TimeCategory::kMessaging, 0.5);
+  EXPECT_DOUBLE_EQ(l.get(TimeCategory::kComputation), 3.0);
+  EXPECT_DOUBLE_EQ(l.total(), 7.5);
+  EXPECT_DOUBLE_EQ(l.busy(), 3.5);
+  EXPECT_DOUBLE_EQ(l.overhead(), 0.5);
+}
+
+TEST(TimeLedger, CallbackCountsAsUsefulWork) {
+  TimeLedger l;
+  l.charge(TimeCategory::kCallback, 2.0);
+  l.charge(TimeCategory::kScheduling, 0.25);
+  EXPECT_DOUBLE_EQ(l.overhead(), 0.25);
+}
+
+TEST(TimeLedger, AccumulateMerges) {
+  TimeLedger a, b;
+  a.charge(TimeCategory::kPolling, 1.0);
+  b.charge(TimeCategory::kPolling, 2.0);
+  b.charge(TimeCategory::kSynchronization, 3.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get(TimeCategory::kPolling), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(TimeCategory::kSynchronization), 3.0);
+}
+
+TEST(TimeLedgerDeathTest, NegativeChargeAborts) {
+  TimeLedger l;
+  EXPECT_DEATH(l.charge(TimeCategory::kIdle, -1.0), "negative");
+}
+
+TEST(TimeLedger, CategoryNamesMatchFigureLegends) {
+  EXPECT_EQ(time_category_name(TimeCategory::kPartitionCalc), "Partition Calculation");
+  EXPECT_EQ(time_category_name(TimeCategory::kPolling), "Polling Thread");
+  EXPECT_EQ(time_category_name(TimeCategory::kCallback), "Callback Routine");
+}
+
+}  // namespace
+}  // namespace prema::util
