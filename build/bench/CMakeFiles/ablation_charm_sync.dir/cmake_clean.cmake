@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_charm_sync.dir/ablation_charm_sync.cpp.o"
+  "CMakeFiles/ablation_charm_sync.dir/ablation_charm_sync.cpp.o.d"
+  "ablation_charm_sync"
+  "ablation_charm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_charm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

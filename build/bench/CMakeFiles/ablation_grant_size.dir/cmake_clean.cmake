@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grant_size.dir/ablation_grant_size.cpp.o"
+  "CMakeFiles/ablation_grant_size.dir/ablation_grant_size.cpp.o.d"
+  "ablation_grant_size"
+  "ablation_grant_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grant_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polling_interval.dir/ablation_polling_interval.cpp.o"
+  "CMakeFiles/ablation_polling_interval.dir/ablation_polling_interval.cpp.o.d"
+  "ablation_polling_interval"
+  "ablation_polling_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polling_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

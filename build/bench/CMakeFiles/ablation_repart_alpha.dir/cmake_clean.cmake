@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repart_alpha.dir/ablation_repart_alpha.cpp.o"
+  "CMakeFiles/ablation_repart_alpha.dir/ablation_repart_alpha.cpp.o.d"
+  "ablation_repart_alpha"
+  "ablation_repart_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repart_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

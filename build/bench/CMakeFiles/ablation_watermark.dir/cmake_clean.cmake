@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_watermark.dir/ablation_watermark.cpp.o"
+  "CMakeFiles/ablation_watermark.dir/ablation_watermark.cpp.o.d"
+  "ablation_watermark"
+  "ablation_watermark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watermark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heavy2x_imb50.dir/fig3_heavy2x_imb50.cpp.o"
+  "CMakeFiles/fig3_heavy2x_imb50.dir/fig3_heavy2x_imb50.cpp.o.d"
+  "fig3_heavy2x_imb50"
+  "fig3_heavy2x_imb50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heavy2x_imb50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_heavy2x_imb50.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_heavy2x_imb10.dir/fig4_heavy2x_imb10.cpp.o"
+  "CMakeFiles/fig4_heavy2x_imb10.dir/fig4_heavy2x_imb10.cpp.o.d"
+  "fig4_heavy2x_imb10"
+  "fig4_heavy2x_imb10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_heavy2x_imb10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

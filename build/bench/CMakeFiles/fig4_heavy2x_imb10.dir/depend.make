@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_heavy2x_imb10.
+# This may be replaced when dependencies are built.

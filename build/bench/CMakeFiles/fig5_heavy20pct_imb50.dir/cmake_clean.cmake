@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_heavy20pct_imb50.dir/fig5_heavy20pct_imb50.cpp.o"
+  "CMakeFiles/fig5_heavy20pct_imb50.dir/fig5_heavy20pct_imb50.cpp.o.d"
+  "fig5_heavy20pct_imb50"
+  "fig5_heavy20pct_imb50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_heavy20pct_imb50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

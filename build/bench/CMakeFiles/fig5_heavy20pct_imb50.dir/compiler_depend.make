@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_heavy20pct_imb50.
+# This may be replaced when dependencies are built.

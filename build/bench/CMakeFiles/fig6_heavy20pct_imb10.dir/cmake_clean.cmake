@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_heavy20pct_imb10.dir/fig6_heavy20pct_imb10.cpp.o"
+  "CMakeFiles/fig6_heavy20pct_imb10.dir/fig6_heavy20pct_imb10.cpp.o.d"
+  "fig6_heavy20pct_imb10"
+  "fig6_heavy20pct_imb10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_heavy20pct_imb10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_generator.dir/mesh_generator.cpp.o"
+  "CMakeFiles/mesh_generator.dir/mesh_generator.cpp.o.d"
+  "mesh_generator"
+  "mesh_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

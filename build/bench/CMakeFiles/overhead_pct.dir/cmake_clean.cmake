@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_pct.dir/overhead_pct.cpp.o"
+  "CMakeFiles/overhead_pct.dir/overhead_pct.cpp.o.d"
+  "overhead_pct"
+  "overhead_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

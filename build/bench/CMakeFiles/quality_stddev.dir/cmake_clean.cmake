@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_stddev.dir/quality_stddev.cpp.o"
+  "CMakeFiles/quality_stddev.dir/quality_stddev.cpp.o.d"
+  "quality_stddev"
+  "quality_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quality_stddev.
+# This may be replaced when dependencies are built.

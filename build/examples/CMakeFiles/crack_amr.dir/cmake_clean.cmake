@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crack_amr.dir/crack_amr.cpp.o"
+  "CMakeFiles/crack_amr.dir/crack_amr.cpp.o.d"
+  "crack_amr"
+  "crack_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crack_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

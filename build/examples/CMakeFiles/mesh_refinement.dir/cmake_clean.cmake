@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_refinement.dir/mesh_refinement.cpp.o"
+  "CMakeFiles/mesh_refinement.dir/mesh_refinement.cpp.o.d"
+  "mesh_refinement"
+  "mesh_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

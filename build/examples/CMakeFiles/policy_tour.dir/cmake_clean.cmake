@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tour.dir/policy_tour.cpp.o"
+  "CMakeFiles/policy_tour.dir/policy_tour.cpp.o.d"
+  "policy_tour"
+  "policy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("dmcs")
+subdirs("mol")
+subdirs("ilb")
+subdirs("prema")
+subdirs("graph")
+subdirs("partition")
+subdirs("charm")
+subdirs("mesh")
+subdirs("bench_support")

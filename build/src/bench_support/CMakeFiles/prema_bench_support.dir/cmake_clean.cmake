@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_bench_support.dir/mesh_app.cpp.o"
+  "CMakeFiles/prema_bench_support.dir/mesh_app.cpp.o.d"
+  "CMakeFiles/prema_bench_support.dir/stop_repartition.cpp.o"
+  "CMakeFiles/prema_bench_support.dir/stop_repartition.cpp.o.d"
+  "CMakeFiles/prema_bench_support.dir/synthetic.cpp.o"
+  "CMakeFiles/prema_bench_support.dir/synthetic.cpp.o.d"
+  "libprema_bench_support.a"
+  "libprema_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

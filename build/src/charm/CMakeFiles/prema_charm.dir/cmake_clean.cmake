@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_charm.dir/charmlite.cpp.o"
+  "CMakeFiles/prema_charm.dir/charmlite.cpp.o.d"
+  "libprema_charm.a"
+  "libprema_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmcs/handler_registry.cpp" "src/dmcs/CMakeFiles/prema_dmcs.dir/handler_registry.cpp.o" "gcc" "src/dmcs/CMakeFiles/prema_dmcs.dir/handler_registry.cpp.o.d"
+  "/root/repo/src/dmcs/node.cpp" "src/dmcs/CMakeFiles/prema_dmcs.dir/node.cpp.o" "gcc" "src/dmcs/CMakeFiles/prema_dmcs.dir/node.cpp.o.d"
+  "/root/repo/src/dmcs/sim_machine.cpp" "src/dmcs/CMakeFiles/prema_dmcs.dir/sim_machine.cpp.o" "gcc" "src/dmcs/CMakeFiles/prema_dmcs.dir/sim_machine.cpp.o.d"
+  "/root/repo/src/dmcs/thread_machine.cpp" "src/dmcs/CMakeFiles/prema_dmcs.dir/thread_machine.cpp.o" "gcc" "src/dmcs/CMakeFiles/prema_dmcs.dir/thread_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prema_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prema_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_dmcs.dir/handler_registry.cpp.o"
+  "CMakeFiles/prema_dmcs.dir/handler_registry.cpp.o.d"
+  "CMakeFiles/prema_dmcs.dir/node.cpp.o"
+  "CMakeFiles/prema_dmcs.dir/node.cpp.o.d"
+  "CMakeFiles/prema_dmcs.dir/sim_machine.cpp.o"
+  "CMakeFiles/prema_dmcs.dir/sim_machine.cpp.o.d"
+  "CMakeFiles/prema_dmcs.dir/thread_machine.cpp.o"
+  "CMakeFiles/prema_dmcs.dir/thread_machine.cpp.o.d"
+  "libprema_dmcs.a"
+  "libprema_dmcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_dmcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

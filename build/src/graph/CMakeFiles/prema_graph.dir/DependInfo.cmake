@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cpp" "src/graph/CMakeFiles/prema_graph.dir/csr_graph.cpp.o" "gcc" "src/graph/CMakeFiles/prema_graph.dir/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/prema_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/prema_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/partition_metrics.cpp" "src/graph/CMakeFiles/prema_graph.dir/partition_metrics.cpp.o" "gcc" "src/graph/CMakeFiles/prema_graph.dir/partition_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/prema_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

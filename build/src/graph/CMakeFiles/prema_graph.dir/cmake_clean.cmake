@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/prema_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/prema_graph.dir/generators.cpp.o"
+  "CMakeFiles/prema_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/prema_graph.dir/partition_metrics.cpp.o"
+  "CMakeFiles/prema_graph.dir/partition_metrics.cpp.o.d"
+  "libprema_graph.a"
+  "libprema_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

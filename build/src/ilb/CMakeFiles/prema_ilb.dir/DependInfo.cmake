@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilb/balancer.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/balancer.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/balancer.cpp.o.d"
+  "/root/repo/src/ilb/policies/diffusion.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/policies/diffusion.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/policies/diffusion.cpp.o.d"
+  "/root/repo/src/ilb/policies/gradient.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/policies/gradient.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/policies/gradient.cpp.o.d"
+  "/root/repo/src/ilb/policies/master.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/policies/master.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/policies/master.cpp.o.d"
+  "/root/repo/src/ilb/policies/multilist.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/policies/multilist.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/policies/multilist.cpp.o.d"
+  "/root/repo/src/ilb/policies/work_stealing.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/policies/work_stealing.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/policies/work_stealing.cpp.o.d"
+  "/root/repo/src/ilb/policy_factory.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/policy_factory.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/policy_factory.cpp.o.d"
+  "/root/repo/src/ilb/scheduler.cpp" "src/ilb/CMakeFiles/prema_ilb.dir/scheduler.cpp.o" "gcc" "src/ilb/CMakeFiles/prema_ilb.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mol/CMakeFiles/prema_mol.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmcs/CMakeFiles/prema_dmcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prema_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prema_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_ilb.dir/balancer.cpp.o"
+  "CMakeFiles/prema_ilb.dir/balancer.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/policies/diffusion.cpp.o"
+  "CMakeFiles/prema_ilb.dir/policies/diffusion.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/policies/gradient.cpp.o"
+  "CMakeFiles/prema_ilb.dir/policies/gradient.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/policies/master.cpp.o"
+  "CMakeFiles/prema_ilb.dir/policies/master.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/policies/multilist.cpp.o"
+  "CMakeFiles/prema_ilb.dir/policies/multilist.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/policies/work_stealing.cpp.o"
+  "CMakeFiles/prema_ilb.dir/policies/work_stealing.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/policy_factory.cpp.o"
+  "CMakeFiles/prema_ilb.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/prema_ilb.dir/scheduler.cpp.o"
+  "CMakeFiles/prema_ilb.dir/scheduler.cpp.o.d"
+  "libprema_ilb.a"
+  "libprema_ilb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_ilb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/advancing_front.cpp" "src/mesh/CMakeFiles/prema_mesh.dir/advancing_front.cpp.o" "gcc" "src/mesh/CMakeFiles/prema_mesh.dir/advancing_front.cpp.o.d"
+  "/root/repo/src/mesh/geometry.cpp" "src/mesh/CMakeFiles/prema_mesh.dir/geometry.cpp.o" "gcc" "src/mesh/CMakeFiles/prema_mesh.dir/geometry.cpp.o.d"
+  "/root/repo/src/mesh/spatial_grid.cpp" "src/mesh/CMakeFiles/prema_mesh.dir/spatial_grid.cpp.o" "gcc" "src/mesh/CMakeFiles/prema_mesh.dir/spatial_grid.cpp.o.d"
+  "/root/repo/src/mesh/subdomain.cpp" "src/mesh/CMakeFiles/prema_mesh.dir/subdomain.cpp.o" "gcc" "src/mesh/CMakeFiles/prema_mesh.dir/subdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mol/CMakeFiles/prema_mol.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prema_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmcs/CMakeFiles/prema_dmcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prema_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

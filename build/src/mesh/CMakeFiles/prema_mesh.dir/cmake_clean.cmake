@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_mesh.dir/advancing_front.cpp.o"
+  "CMakeFiles/prema_mesh.dir/advancing_front.cpp.o.d"
+  "CMakeFiles/prema_mesh.dir/geometry.cpp.o"
+  "CMakeFiles/prema_mesh.dir/geometry.cpp.o.d"
+  "CMakeFiles/prema_mesh.dir/spatial_grid.cpp.o"
+  "CMakeFiles/prema_mesh.dir/spatial_grid.cpp.o.d"
+  "CMakeFiles/prema_mesh.dir/subdomain.cpp.o"
+  "CMakeFiles/prema_mesh.dir/subdomain.cpp.o.d"
+  "libprema_mesh.a"
+  "libprema_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_mol.dir/mol.cpp.o"
+  "CMakeFiles/prema_mol.dir/mol.cpp.o.d"
+  "libprema_mol.a"
+  "libprema_mol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_mol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prema_mol.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_partition.dir/adaptive.cpp.o"
+  "CMakeFiles/prema_partition.dir/adaptive.cpp.o.d"
+  "CMakeFiles/prema_partition.dir/coarsen.cpp.o"
+  "CMakeFiles/prema_partition.dir/coarsen.cpp.o.d"
+  "CMakeFiles/prema_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/prema_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/prema_partition.dir/refine.cpp.o"
+  "CMakeFiles/prema_partition.dir/refine.cpp.o.d"
+  "libprema_partition.a"
+  "libprema_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/prema_runtime.dir/runtime.cpp.o.d"
+  "libprema_runtime.a"
+  "libprema_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

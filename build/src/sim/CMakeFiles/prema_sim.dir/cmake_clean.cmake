@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_sim.dir/engine.cpp.o"
+  "CMakeFiles/prema_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/prema_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/prema_sim.dir/event_queue.cpp.o.d"
+  "libprema_sim.a"
+  "libprema_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prema_support.dir/byte_buffer.cpp.o"
+  "CMakeFiles/prema_support.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/prema_support.dir/log.cpp.o"
+  "CMakeFiles/prema_support.dir/log.cpp.o.d"
+  "CMakeFiles/prema_support.dir/stats.cpp.o"
+  "CMakeFiles/prema_support.dir/stats.cpp.o.d"
+  "CMakeFiles/prema_support.dir/time_ledger.cpp.o"
+  "CMakeFiles/prema_support.dir/time_ledger.cpp.o.d"
+  "libprema_support.a"
+  "libprema_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prema_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench.dir/test_bench.cpp.o"
+  "CMakeFiles/test_bench.dir/test_bench.cpp.o.d"
+  "test_bench"
+  "test_bench.pdb"
+  "test_bench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

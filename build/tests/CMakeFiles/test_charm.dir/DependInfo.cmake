@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_charm.cpp" "tests/CMakeFiles/test_charm.dir/test_charm.cpp.o" "gcc" "tests/CMakeFiles/test_charm.dir/test_charm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charm/CMakeFiles/prema_charm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmcs/CMakeFiles/prema_dmcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prema_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/prema_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/prema_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prema_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

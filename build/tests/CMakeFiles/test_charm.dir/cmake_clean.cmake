@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charm.dir/test_charm.cpp.o"
+  "CMakeFiles/test_charm.dir/test_charm.cpp.o.d"
+  "test_charm"
+  "test_charm.pdb"
+  "test_charm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

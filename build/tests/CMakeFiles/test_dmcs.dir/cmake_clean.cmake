@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmcs.dir/test_dmcs.cpp.o"
+  "CMakeFiles/test_dmcs.dir/test_dmcs.cpp.o.d"
+  "test_dmcs"
+  "test_dmcs.pdb"
+  "test_dmcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilb.dir/test_ilb.cpp.o"
+  "CMakeFiles/test_ilb.dir/test_ilb.cpp.o.d"
+  "test_ilb"
+  "test_ilb.pdb"
+  "test_ilb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mol.cpp" "tests/CMakeFiles/test_mol.dir/test_mol.cpp.o" "gcc" "tests/CMakeFiles/test_mol.dir/test_mol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mol/CMakeFiles/prema_mol.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmcs/CMakeFiles/prema_dmcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prema_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prema_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mol.dir/test_mol.cpp.o"
+  "CMakeFiles/test_mol.dir/test_mol.cpp.o.d"
+  "test_mol"
+  "test_mol.pdb"
+  "test_mol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prema.dir/test_prema.cpp.o"
+  "CMakeFiles/test_prema.dir/test_prema.cpp.o.d"
+  "test_prema"
+  "test_prema.pdb"
+  "test_prema[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

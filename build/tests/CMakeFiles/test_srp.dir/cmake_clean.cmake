@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srp.dir/test_srp.cpp.o"
+  "CMakeFiles/test_srp.dir/test_srp.cpp.o.d"
+  "test_srp"
+  "test_srp.pdb"
+  "test_srp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

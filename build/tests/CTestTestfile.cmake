@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dmcs[1]_include.cmake")
+include("/root/repo/build/tests/test_mol[1]_include.cmake")
+include("/root/repo/build/tests/test_ilb[1]_include.cmake")
+include("/root/repo/build/tests/test_prema[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_charm[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_srp[1]_include.cmake")
+include("/root/repo/build/tests/test_bench[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
