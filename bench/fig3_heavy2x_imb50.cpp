@@ -1,8 +1,9 @@
 // Figure 3: 50% of units heavy, heavy weight = 2x light.
 #include "figure_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return prema::bench::run_figure(
+      argc, argv,
       "Figure 3: 50% initial imbalance, heavy = 2x light", 0.5, 500.0,
       "(a) 1296  (b) 1306  (c) 902  (d) 973  (e) 1253  (f) n/a");
 }

@@ -1,8 +1,9 @@
 // Figure 4: 10% of units heavy ("spike"), heavy weight = 2x light.
 #include "figure_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return prema::bench::run_figure(
+      argc, argv,
       "Figure 4: 10% initial imbalance, heavy = 2x light", 0.1, 500.0,
       "(a) 1329  (b) 951  (c) 672  (d) 1325  (e) 1325  (f) 1052");
 }

@@ -1,8 +1,9 @@
 // Figure 5: 50% of units heavy, heavy weight = 1.2x light.
 #include "figure_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return prema::bench::run_figure(
+      argc, argv,
       "Figure 5: 50% initial imbalance, heavy = 1.2x light", 0.5, 300.0,
       "(a) 760  (b) 762  (c) 663  (d) 710  (e) 763  (f) 751");
 }

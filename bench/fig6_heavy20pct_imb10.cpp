@@ -1,8 +1,9 @@
 // Figure 6: 10% of units heavy, heavy weight = 1.2x light.
 #include "figure_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return prema::bench::run_figure(
+      argc, argv,
       "Figure 6: 10% initial imbalance, heavy = 1.2x light", 0.1, 300.0,
       "(a) 751  (b) 750  (c) 610  (d) 753  (e) 716  (f) 751");
 }

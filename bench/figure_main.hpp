@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_support/synthetic.hpp"
@@ -9,14 +11,28 @@
 /// Shared driver for the Figure 3-6 reproduction binaries: runs all six
 /// panels of one benchmark configuration and prints the per-panel breakdowns
 /// plus the comparison table.
+///
+/// Flags: --trace-out=<file>  export a Chrome/Perfetto trace per panel
+///                            (file gets a "-a".."-f" suffix per system).
 
 namespace prema::bench {
 
-inline int run_figure(const char* title, double heavy_fraction,
-                      double heavy_mflop, const char* paper_values) {
+inline int run_figure(int argc, char** argv, const char* title,
+                      double heavy_fraction, double heavy_mflop,
+                      const char* paper_values) {
   SyntheticConfig cfg;
   cfg.heavy_fraction = heavy_fraction;
   cfg.heavy_mflop = heavy_mflop;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      cfg.trace_out = arg + 12;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: " << argv[0] << " [--trace-out=<file>]\n";
+      return 2;
+    }
+  }
 
   std::cout << "==========================================================\n"
             << title << "\n"

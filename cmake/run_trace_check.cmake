@@ -1,0 +1,37 @@
+# Integration check for the tracing subsystem, run as a ctest case: execute
+# an example with --trace-out and validate the emitted Chrome trace JSON with
+# the trace_check tool.
+#
+# Expects: QUICKSTART (example binary), TRACE_CHECK (checker binary),
+#          OUT_DIR (scratch directory for the trace file).
+
+if(NOT QUICKSTART OR NOT TRACE_CHECK OR NOT OUT_DIR)
+  message(FATAL_ERROR "run_trace_check.cmake needs QUICKSTART, TRACE_CHECK and OUT_DIR")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace_file "${OUT_DIR}/quickstart_trace.json")
+
+execute_process(
+  COMMAND "${QUICKSTART}" "--trace-out=${trace_file}"
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_output
+)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "quickstart --trace-out failed (${run_result}):\n${run_output}")
+endif()
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "quickstart did not write ${trace_file}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" "${trace_file}" "--min-events=100"
+  RESULT_VARIABLE check_result
+  OUTPUT_VARIABLE check_output
+  ERROR_VARIABLE check_output
+)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "trace_check rejected ${trace_file} (${check_result}):\n${check_output}")
+endif()
+message(STATUS "${check_output}")

@@ -15,12 +15,21 @@
 // balanced — here by the Work Stealing policy, with preemptive (implicit)
 // message processing.
 //
-// Run:  ./quickstart
+// Run:  ./quickstart [--trace-out=trace.json]
+//
+// With --trace-out the run records an event trace and writes Chrome
+// trace-event JSON you can open at https://ui.perfetto.dev, plus a text
+// summary of the recorded counters on stdout.
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "dmcs/sim_machine.hpp"
 #include "prema/runtime.hpp"
+#include "trace/export.hpp"
 
 using namespace prema;
 
@@ -57,7 +66,17 @@ class TreeNode : public mol::MobileObject {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out=<file>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   // An emulated 8-processor machine with preemptive (implicit) polling.
   sim::MachineConfig mcfg;
   mcfg.nprocs = 8;
@@ -68,6 +87,7 @@ int main() {
 
   RuntimeConfig rcfg;
   rcfg.policy = "work_stealing";
+  rcfg.trace.enabled = !trace_out.empty();
   Runtime rt(machine, rcfg);
   rt.object_types().add(TreeNode::kTypeId, TreeNode::make);
 
@@ -111,6 +131,23 @@ int main() {
     std::printf("  proc %d: computation %6.2f s, %llu objects resident at end\n",
                 p, machine.ledger(p).get(util::TimeCategory::kComputation),
                 static_cast<unsigned long long>(rt.mol_at(p).local_count()));
+  }
+
+  if (const auto* rec = machine.tracer()) {
+    if (!trace::write_chrome_trace_file(trace_out, *rec)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("  trace: %llu events (%llu dropped) -> %s "
+                "(open at https://ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(rec->total_events()),
+                static_cast<unsigned long long>(rec->total_dropped()),
+                trace_out.c_str());
+    std::vector<util::TimeLedger> ledgers;
+    for (ProcId p = 0; p < machine.nprocs(); ++p) {
+      ledgers.push_back(machine.ledger(p));
+    }
+    trace::write_summary(std::cout, *rec, ledgers);
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "ilb/policies/work_stealing.hpp"
 #include "prema/runtime.hpp"
 #include "support/stats.hpp"
+#include "trace/export.hpp"
 
 namespace prema::bench {
 
@@ -90,6 +91,24 @@ class WorkChare : public charmlite::Chare {
   std::vector<std::uint8_t> blob_;
 };
 
+/// Attach a trace recorder to `machine` if the config asks for one. Works for
+/// all three runtimes because the hooks live at the Node/Machine layer.
+void maybe_enable_trace(dmcs::Machine& machine, const SyntheticConfig& cfg) {
+  if (cfg.trace_out.empty()) return;
+  trace::TraceConfig tcfg;
+  tcfg.enabled = true;
+  machine.enable_tracing(tcfg);
+}
+
+/// Export the recorded trace (if any) and note the file in the report.
+void maybe_export_trace(dmcs::Machine& machine, const SyntheticConfig& cfg,
+                        RunReport& rep) {
+  const auto* rec = machine.tracer();
+  if (rec == nullptr || cfg.trace_out.empty()) return;
+  const std::string path = trace_output_path(cfg.trace_out, rep.system);
+  if (trace::write_chrome_trace_file(path, *rec)) rep.trace_file = path;
+}
+
 double unit_mflop(const SyntheticConfig& cfg, std::int64_t global_index,
                   std::int64_t total) {
   const auto heavy_count = static_cast<std::int64_t>(cfg.heavy_fraction * total);
@@ -128,6 +147,7 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
   dmcs::SimMachine machine(mcfg, pcfg);
 
   RuntimeConfig rcfg;
+  rcfg.trace.enabled = !cfg.trace_out.empty();
   rcfg.policy = sys == System::kNoLB ? "null" : "work_stealing";
   rcfg.balancer.low_watermark = cfg.low_watermark;
   rcfg.balancer.donate_threshold = 2 * cfg.low_watermark;
@@ -174,6 +194,7 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
     rep.migrations += rt.mol_at(p).stats().migrations_in;
   }
   finalize(rep, cfg);
+  maybe_export_trace(machine, cfg, rep);
   return rep;
 }
 
@@ -183,6 +204,7 @@ RunReport run_srp(const SyntheticConfig& cfg) {
   mcfg.mflops = cfg.proc_mflops;
   mcfg.seed = cfg.seed;
   dmcs::SimMachine machine(mcfg);  // explicit polling
+  maybe_enable_trace(machine, cfg);
 
   srp::SrpConfig scfg;
   scfg.low_watermark = cfg.low_watermark;
@@ -223,6 +245,7 @@ RunReport run_srp(const SyntheticConfig& cfg) {
   rep.migrations = rt.migrations();
   for (ProcId p = 0; p < cfg.nprocs; ++p) rep.ledgers.push_back(machine.ledger(p));
   finalize(rep, cfg);
+  maybe_export_trace(machine, cfg, rep);
   return rep;
 }
 
@@ -236,6 +259,7 @@ RunReport run_charm(System sys, const SyntheticConfig& cfg) {
   mcfg.mflops = cfg.proc_mflops;
   mcfg.seed = cfg.seed;
   dmcs::SimMachine machine(mcfg);  // Charm never preempts entries
+  maybe_enable_trace(machine, cfg);
 
   charmlite::CharmConfig ccfg;
   ccfg.strategy = charmlite::Strategy::kGreedy;
@@ -276,10 +300,23 @@ RunReport run_charm(System sys, const SyntheticConfig& cfg) {
   rep.migrations = rt.migrations();
   for (ProcId p = 0; p < cfg.nprocs; ++p) rep.ledgers.push_back(machine.ledger(p));
   finalize(rep, cfg);
+  maybe_export_trace(machine, cfg, rep);
   return rep;
 }
 
 }  // namespace
+
+std::string trace_output_path(const std::string& base, System sys) {
+  const char letter = system_panel(sys)[1];  // "(a)" -> 'a'
+  const auto dot = base.find_last_of('.');
+  std::string out = base;
+  if (dot == std::string::npos || base.find('/', dot) != std::string::npos) {
+    out += std::string("-") + letter;
+  } else {
+    out.insert(dot, std::string("-") + letter);
+  }
+  return out;
+}
 
 RunReport run_synthetic(System sys, const SyntheticConfig& cfg) {
   switch (sys) {
@@ -330,6 +367,9 @@ void print_panel(std::ostream& os, const RunReport& r) {
       r.overhead_pct, r.sync_pct, static_cast<unsigned long long>(r.migrations),
       static_cast<long long>(r.executed));
   os << buf;
+  if (!r.trace_file.empty()) {
+    os << "    trace written to " << r.trace_file << "\n";
+  }
 }
 
 void print_comparison(std::ostream& os, const std::vector<RunReport>& rs) {

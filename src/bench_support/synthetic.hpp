@@ -66,6 +66,10 @@ struct SyntheticConfig {
   double srp_cooldown_s = 15.0;
   double srp_alpha = 1.0;
   std::uint64_t seed = 2003;
+  /// When non-empty, record an event trace of each run and export Chrome
+  /// trace-event JSON to a per-panel file derived from this base path (see
+  /// trace_output_path). Empty = tracing off, zero overhead.
+  std::string trace_out;
 };
 
 struct RunReport {
@@ -85,7 +89,13 @@ struct RunReport {
   double sync_pct = 0.0;        ///< sync_total / comp_total * 100
   std::uint64_t migrations = 0;
   std::int64_t executed = 0;
+  /// Path the Chrome trace was written to ("" when tracing was off).
+  std::string trace_file;
 };
+
+/// Per-panel trace file name: inserts "-<panel letter>" before the extension
+/// of `base` (e.g. "fig3.json" + panel (c) -> "fig3-c.json").
+std::string trace_output_path(const std::string& base, System sys);
 
 /// Run one system configuration on the emulated machine.
 RunReport run_synthetic(System sys, const SyntheticConfig& cfg);

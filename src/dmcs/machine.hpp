@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "dmcs/node.hpp"
+#include "trace/trace.hpp"
 
 /// \file machine.hpp
 /// A machine = N processors + an interconnect + a handler registry. Two
@@ -32,6 +33,27 @@ class Machine {
 
   /// Ledger of processor `p` after (or during) a run.
   [[nodiscard]] virtual const util::TimeLedger& ledger(ProcId p) const = 0;
+
+  /// Attach an event recorder and hand each node its per-processor sink
+  /// (call before run()). Honors cfg.enabled and the PREMA_TRACE compile
+  /// switch; returns the recorder, or nullptr when tracing stays off.
+  /// Idempotent: a second call returns the existing recorder.
+  trace::TraceRecorder* enable_tracing(trace::TraceConfig cfg) {
+    if (!trace::kCompiledIn || !cfg.enabled) return tracer_.get();
+    if (!tracer_) {
+      tracer_ = std::make_unique<trace::TraceRecorder>(nprocs(), cfg);
+      for (ProcId p = 0; p < nprocs(); ++p) {
+        node(p).set_trace_sink(&tracer_->sink(p));
+      }
+    }
+    return tracer_.get();
+  }
+
+  /// The attached recorder, or nullptr when tracing was never enabled.
+  [[nodiscard]] trace::TraceRecorder* tracer() const { return tracer_.get(); }
+
+ private:
+  std::unique_ptr<trace::TraceRecorder> tracer_;
 };
 
 }  // namespace prema::dmcs

@@ -8,6 +8,10 @@
 #include "support/rng.hpp"
 #include "support/time_ledger.hpp"
 
+namespace prema::trace {
+class TraceSink;
+}
+
 /// \file node.hpp
 /// The per-processor view of the DMCS. All protocol code above this layer
 /// (mobile object layer, load balancing framework, charmlite, the benchmark
@@ -122,6 +126,12 @@ class Node {
     return std::unique_lock<std::recursive_mutex>(state_mutex_);
   }
 
+  /// This processor's trace sink, or nullptr when tracing is off (the
+  /// common case — instrumentation sites test this one pointer and skip).
+  /// Installed by Machine::enable_tracing before the run starts.
+  [[nodiscard]] trace::TraceSink* trace() const { return trace_; }
+  void set_trace_sink(trace::TraceSink* sink) { trace_ = sink; }
+
   /// Opaque slot for the runtime layer built on top of DMCS (e.g. the PREMA
   /// runtime stores its per-node state here).
   void set_user(void* user) { user_ = user; }
@@ -136,6 +146,7 @@ class Node {
   ProcId rank_;
   int nprocs_;
   NodeStats stats_;
+  trace::TraceSink* trace_ = nullptr;
   void* user_ = nullptr;
   std::recursive_mutex state_mutex_;
 };

@@ -48,6 +48,10 @@ void SimNode::do_send(ProcId dst, Message&& msg) {
   const auto& net = machine_.config().net;
   proc_.advance(TimeCategory::kMessaging, net.send_cpu(msg.size_bytes()));
   ++stats_.sent;
+  if (trace_) {
+    trace_->message_send(proc_.clock(), dst, msg.size_bytes(),
+                         msg.kind == MsgKind::kSystem);
+  }
   const double transfer = dst == rank_ ? 1e-9 : net.transfer_time(msg.size_bytes());
   sim::SimTime arrival = proc_.clock() + transfer;
   auto& chan = channel_clock_[static_cast<std::size_t>(dst)];
@@ -94,7 +98,13 @@ void SimNode::compute_seconds(double seconds, TimeCategory cat) {
     captured_s_ += seconds;
     return;
   }
+  const sim::SimTime t0 = proc_.clock();
   proc_.advance(cat, seconds);
+  // The (re)partitioner charges its execution here; surface it as a span so
+  // the ParMETIS panels show *when* partitioning ran, not just its total.
+  if (trace_ && cat == TimeCategory::kPartitionCalc && seconds > 0.0) {
+    trace_->span(trace::EventKind::kPartition, t0, seconds);
+  }
 }
 
 void SimNode::on_arrival(Message&& msg) {
@@ -123,6 +133,10 @@ void SimNode::drain_inbox() {
     inbox_.pop_front();
     proc_.advance(TimeCategory::kMessaging,
                   machine_.config().net.recv_cpu(msg.size_bytes()));
+    if (trace_) {
+      trace_->message_recv(proc_.clock(), msg.src, msg.size_bytes(),
+                           msg.kind == MsgKind::kSystem);
+    }
     if (msg.kind == MsgKind::kSystem) {
       program_->deliver_system(*this, std::move(msg));
     } else {
@@ -149,6 +163,9 @@ void SimNode::execute(Message&& msg, std::function<void()> on_complete) {
   PREMA_CHECK_MSG(!capturing_, "execute() from inside a work-unit body");
   ++stats_.work_units_executed;
 
+  // The span opens before the body runs so the runtime layer can annotate it
+  // (handler name, weight) from inside the dispatch.
+  if (trace_) trace_->work_begin(proc_.clock());
   capturing_ = true;
   captured_s_ = 0.0;
   dispatch(std::move(msg));
@@ -156,6 +173,7 @@ void SimNode::execute(Message&& msg, std::function<void()> on_complete) {
   const double duration = captured_s_;
 
   if (duration <= 0.0) {
+    if (trace_) trace_->work_end(proc_.clock());
     flush_deferred_sends();
     if (on_complete) on_complete();
     return;
@@ -203,6 +221,7 @@ void SimNode::on_interrupt(std::uint64_t gen) {
 
   proc_.advance(TimeCategory::kPolling, polling().tick_cost_s);
   ++interrupts_;
+  if (trace_) trace_->poll_wakeup(proc_.clock());
 
   // Hand every queued system message to the program; application messages
   // stay queued for the next service pass (single-threaded model preserved).
@@ -215,6 +234,9 @@ void SimNode::on_interrupt(std::uint64_t gen) {
     it = inbox_.erase(it);
     proc_.advance(TimeCategory::kMessaging,
                   machine_.config().net.recv_cpu(msg.size_bytes()));
+    if (trace_) {
+      trace_->message_recv(proc_.clock(), msg.src, msg.size_bytes(), true);
+    }
     program_->deliver_system(*this, std::move(msg));
   }
 
@@ -228,6 +250,9 @@ void SimNode::finish_activity(std::uint64_t gen) {
   end_event_ = sim::kNoEvent;
   proc_.advance(TimeCategory::kComputation, remaining_s_);
   remaining_s_ = 0.0;
+  // Close the span before the bulk silent-tick charge below: those ticks
+  // belong to the whole activity, not to its final instant.
+  if (trace_) trace_->work_end(proc_.clock());
 
   if (polling().mode == PollingMode::kPreemptive) {
     const auto ticks =

@@ -42,6 +42,10 @@ void ThreadNode::send(ProcId dst, Message msg) {
   PREMA_CHECK_MSG(dst >= 0 && dst < nprocs_, "send to invalid rank");
   msg.src = rank_;
   ++stats_.sent;
+  if (trace_) {
+    trace_->message_send(now(), dst, msg.size_bytes(),
+                         msg.kind == MsgKind::kSystem);
+  }
   machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
   static_cast<ThreadNode&>(machine_.node(dst)).enqueue(std::move(msg));
 }
@@ -94,8 +98,12 @@ void ThreadNode::compute(double mflop, TimeCategory cat) {
 
 void ThreadNode::compute_seconds(double seconds, TimeCategory cat) {
   PREMA_CHECK_MSG(seconds >= 0.0, "negative compute cost");
+  const double t0 = now();
   spin_for(seconds);
   ledger_.charge(cat, seconds);
+  if (trace_ && cat == TimeCategory::kPartitionCalc && seconds > 0.0) {
+    trace_->span(trace::EventKind::kPartition, t0, seconds);
+  }
 }
 
 void ThreadNode::execute(Message&& msg, std::function<void()> on_complete) {
@@ -103,7 +111,9 @@ void ThreadNode::execute(Message&& msg, std::function<void()> on_complete) {
   // concurrently running polling thread, not by the backend.
   executing_.store(true, std::memory_order_release);
   ++stats_.work_units_executed;
+  if (trace_) trace_->work_begin(now());
   dispatch(std::move(msg));
+  if (trace_) trace_->work_end(now());
   executing_.store(false, std::memory_order_release);
   if (on_complete) on_complete();
 }
@@ -127,6 +137,10 @@ int ThreadNode::drain(bool system_only) {
       }
     }
     if (!msg.internal) ++stats_.received;
+    if (trace_) {
+      trace_->message_recv(now(), msg.src, msg.size_bytes(),
+                           msg.kind == MsgKind::kSystem);
+    }
     if (msg.kind == MsgKind::kSystem) {
       program_->deliver_system(*this, std::move(msg));
     } else {
@@ -174,6 +188,7 @@ void ThreadNode::poller_loop() {
     const int handled = drain(/*system_only=*/true);
     if (handled > 0) {
       ledger_.charge(TimeCategory::kPolling, seconds_between(t0, Clock::now()));
+      if (trace_) trace_->poll_wakeup(now());
     }
   }
 }

@@ -30,6 +30,11 @@ void Balancer::poll() {
   ++stats_.polls;
   charge_seconds(cfg_.decision_cost_s);
   policy_->on_poll(*this);
+  if (auto* ts = node_.trace(); ts && migrations_this_round_ > 0) {
+    ts->counters().migrations_per_round.add(
+        static_cast<double>(migrations_this_round_));
+    migrations_this_round_ = 0;
+  }
 }
 
 void Balancer::on_wire(dmcs::Message&& msg) {
@@ -45,11 +50,15 @@ void Balancer::on_wire(dmcs::Message&& msg) {
     return;
   }
   charge_seconds(cfg_.decision_cost_s);
+  if (auto* ts = node_.trace()) ts->policy_wire(node_.now(), msg.src, tag);
   policy_->on_message(*this, msg.src, tag, r);
 }
 
 void Balancer::work_arrived() {
   if (!cfg_.enabled) return;
+  if (auto* ts = node_.trace()) {
+    ts->counters().queue_depth.add(static_cast<double>(sched_.queued_units()));
+  }
   policy_->on_work_arrived(*this);
 }
 
@@ -75,6 +84,22 @@ void Balancer::request_poll_after(double seconds) {
 
 void Balancer::migrate_object(const mol::MobilePtr& ptr, ProcId dst) {
   ++stats_.objects_migrated;
+  if (auto* ts = node_.trace()) {
+    // The policy just decided to move work: record the decision itself,
+    // attributed to the policy by name. (Mol::migrate records the transfer.)
+    if (policy_name_id_ == 0) {
+      policy_name_id_ = ts->recorder().intern(policy_->name());
+    }
+    double weight = 0.0;
+    for (const auto& load : sched_.migratable_loads()) {
+      if (load.ptr == ptr) {
+        weight = load.weight;
+        break;
+      }
+    }
+    ts->policy_decision(node_.now(), dst, weight, policy_name_id_);
+    ++migrations_this_round_;
+  }
   mol_.migrate(ptr, dst);
 }
 

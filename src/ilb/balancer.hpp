@@ -6,6 +6,7 @@
 #include "ilb/policy.hpp"
 #include "ilb/scheduler.hpp"
 #include "mol/mol.hpp"
+#include "trace/trace.hpp"
 
 /// \file balancer.hpp
 /// Glue between one processor's scheduler, its Mobile Object Layer, and the
@@ -94,6 +95,11 @@ class Balancer final : public PolicyContext {
   Stats stats_;
   bool self_tick_armed_ = false;
   bool stopped_ = false;
+
+  // Tracing: interned policy name (lazy) and the count of objects migrated
+  // since the last poll — one "balancing round" for the histogram.
+  trace::StrId policy_name_id_ = 0;
+  std::uint64_t migrations_this_round_ = 0;
 };
 
 }  // namespace prema::ilb

@@ -214,10 +214,14 @@ void Mol::migrate(const MobilePtr& ptr, ProcId dst) {
   forwarding_[ptr] = dst;
   cache_.erase(ptr);
   ++stats_.migrations_out;
+  if (auto* ts = node_.trace()) ts->migration_out(node_.now(), dst, w.size());
   node_.send(dst, Message{migrate_h_, node_.rank(), MsgKind::kSystem, w.take()});
 }
 
 void Mol::on_migrate(Message&& msg) {
+  if (auto* ts = node_.trace()) {
+    ts->migration_in(node_.now(), msg.src, msg.payload.size());
+  }
   ByteReader r(msg.payload);
   const MobilePtr ptr = get_ptr(r);
   const auto type_id = r.get<std::uint32_t>();

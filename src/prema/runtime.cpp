@@ -109,6 +109,7 @@ class Runtime::NodeProgram final : public dmcs::Program {
 
 Runtime::Runtime(dmcs::Machine& machine, RuntimeConfig cfg)
     : machine_(machine), cfg_(std::move(cfg)) {
+  if (cfg_.trace.enabled) machine_.enable_tracing(cfg_.trace);
   mol_layer_ = std::make_unique<mol::MolLayer>(machine_);
 
   exec_h_ = machine_.registry().add("prema.exec", [this](dmcs::Node& n, Message&& m) {
@@ -200,12 +201,27 @@ void Runtime::exec_wrapper(dmcs::Node& n, Message&&) {
   PREMA_CHECK_MSG(d.handler != 0 && d.handler <= object_handlers_.size(),
                   "unknown object handler id");
   ByteReader reader(d.payload);
+  if (auto* ts = n.trace()) {
+    // Under deferred-cost execution the body runs at activity start, so the
+    // span the node just opened can still be annotated with who ran.
+    const trace::StrId name = d.handler <= handler_name_ids_.size()
+                                  ? handler_name_ids_[d.handler - 1]
+                                  : 0;
+    ts->work_annotate(name, d.weight);
+  }
   object_handlers_[d.handler - 1](r.ctx, *obj, reader, d);
 }
 
 double Runtime::run() {
   PREMA_CHECK_MSG(!ran_, "Runtime::run may only be called once");
   ran_ = true;
+  if (auto* rec = machine_.tracer()) {
+    handler_name_ids_.clear();
+    handler_name_ids_.reserve(object_handler_names_.size());
+    for (const auto& nm : object_handler_names_) {
+      handler_name_ids_.push_back(rec->intern(nm));
+    }
+  }
   return machine_.run([this](ProcId p) {
     return std::make_unique<NodeProgram>(*this, rt(p));
   });
@@ -269,6 +285,7 @@ void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
   auto& c = *term_;
   ++c.wave;
   ++term_waves_;
+  if (auto* ts = r0.node->trace()) ts->term_wave(r0.node->now(), c.wave);
   c.wave_active = true;
   c.acks = 0;
   c.all_idle = true;

@@ -83,6 +83,9 @@ struct RuntimeConfig {
   std::function<std::unique_ptr<ilb::Policy>()> policy_factory;
   /// Run the quiescence detector (a few extra control messages).
   bool termination_detection = true;
+  /// Event tracing (src/trace). Off by default; when enabled the runtime
+  /// attaches a recorder to the machine before run().
+  trace::TraceConfig trace;
 };
 
 class Runtime {
@@ -138,6 +141,9 @@ class Runtime {
   std::vector<std::unique_ptr<NodeRt>> nodes_;
   std::vector<ObjectHandler> object_handlers_;
   std::vector<std::string> object_handler_names_;
+  /// Interned trace names for object handlers, parallel to the vectors above
+  /// (filled at run() when tracing is enabled).
+  std::vector<trace::StrId> handler_name_ids_;
   std::function<void(Context&)> main_;
 
   dmcs::HandlerId exec_h_ = dmcs::kNoHandler;

@@ -16,6 +16,10 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Combine another accumulator into this one (Chan et al. parallel
+  /// variance) — merging per-processor stats without re-streaming samples.
+  void merge(const RunningStats& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
   /// Population variance (divides by n); matches how the paper characterizes

@@ -1,0 +1,252 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace prema::trace {
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kWorkUnit: return "work-unit";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kMessageSend: return "send";
+    case EventKind::kMessageRecv: return "recv";
+    case EventKind::kMigrationOut: return "migrate-out";
+    case EventKind::kMigrationIn: return "migrate-in";
+    case EventKind::kPolicyDecision: return "policy-decision";
+    case EventKind::kPolicyWire: return "policy-msg";
+    case EventKind::kPollWakeup: return "poll-wakeup";
+    case EventKind::kTermWave: return "term-wave";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(std::size_t capacity) {
+  PREMA_CHECK_MSG(capacity > 0, "trace buffer needs capacity >= 1");
+  ring_.resize(capacity);
+}
+
+void TraceBuffer::push(const TraceEvent& e) {
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;  // overwrote the oldest retained event
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event sits at head_ once the ring has wrapped, at 0 before.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------------
+
+TraceSink::TraceSink(TraceRecorder& rec, ProcId proc, std::size_t capacity)
+    : rec_(rec), proc_(proc), buf_(capacity) {}
+
+void TraceSink::push(const TraceEvent& e) {
+  std::lock_guard<std::mutex> g(mu_);
+  buf_.push(e);
+}
+
+void TraceSink::work_begin(double t) {
+  std::lock_guard<std::mutex> g(mu_);
+  work_ = TraceEvent{};
+  work_.kind = EventKind::kWorkUnit;
+  work_.t0 = t;
+  work_open_ = true;
+}
+
+void TraceSink::work_annotate(StrId handler_name, double weight) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!work_open_) return;
+  work_.name = handler_name;
+  work_.value = weight;
+}
+
+void TraceSink::work_end(double t) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!work_open_) return;
+  work_open_ = false;
+  work_.dur = std::max(0.0, t - work_.t0);
+  buf_.push(work_);
+  ++counters_.work_units;
+  counters_.work_seconds += work_.dur;
+}
+
+void TraceSink::span(EventKind kind, double t0, double dur, StrId name) {
+  TraceEvent e;
+  e.kind = kind;
+  e.t0 = t0;
+  e.dur = dur;
+  e.name = name;
+  push(e);
+  if (kind == EventKind::kPartition) {
+    ++counters_.partitions;
+    counters_.partition_seconds += dur;
+  }
+}
+
+void TraceSink::message_send(double t, ProcId dst, std::size_t bytes, bool system) {
+  TraceEvent e;
+  e.kind = EventKind::kMessageSend;
+  e.t0 = t;
+  e.peer = dst;
+  e.size = bytes;
+  if (system) e.flags |= TraceEvent::kFlagSystem;
+  push(e);
+  ++counters_.msgs_sent;
+  counters_.bytes_sent += bytes;
+  counters_.msg_size.add(static_cast<double>(bytes));
+}
+
+void TraceSink::message_recv(double t, ProcId src, std::size_t bytes, bool system) {
+  TraceEvent e;
+  e.kind = EventKind::kMessageRecv;
+  e.t0 = t;
+  e.peer = src;
+  e.size = bytes;
+  if (system) e.flags |= TraceEvent::kFlagSystem;
+  push(e);
+  ++counters_.msgs_received;
+  counters_.bytes_received += bytes;
+}
+
+void TraceSink::migration_out(double t, ProcId dst, std::size_t bytes) {
+  TraceEvent e;
+  e.kind = EventKind::kMigrationOut;
+  e.t0 = t;
+  e.peer = dst;
+  e.size = bytes;
+  push(e);
+  ++counters_.migrations_out;
+}
+
+void TraceSink::migration_in(double t, ProcId src, std::size_t bytes) {
+  TraceEvent e;
+  e.kind = EventKind::kMigrationIn;
+  e.t0 = t;
+  e.peer = src;
+  e.size = bytes;
+  push(e);
+  ++counters_.migrations_in;
+}
+
+void TraceSink::policy_decision(double t, ProcId dst, double weight,
+                                StrId policy_name) {
+  TraceEvent e;
+  e.kind = EventKind::kPolicyDecision;
+  e.t0 = t;
+  e.peer = dst;
+  e.value = weight;
+  e.name = policy_name;
+  push(e);
+  ++counters_.policy_decisions;
+}
+
+void TraceSink::policy_wire(double t, ProcId src, std::uint8_t tag) {
+  TraceEvent e;
+  e.kind = EventKind::kPolicyWire;
+  e.t0 = t;
+  e.peer = src;
+  e.size = tag;
+  push(e);
+  ++counters_.policy_wire_msgs;
+}
+
+void TraceSink::poll_wakeup(double t) {
+  TraceEvent e;
+  e.kind = EventKind::kPollWakeup;
+  e.t0 = t;
+  push(e);
+  ++counters_.poll_wakeups;
+}
+
+void TraceSink::term_wave(double t, std::uint64_t wave) {
+  TraceEvent e;
+  e.kind = EventKind::kTermWave;
+  e.t0 = t;
+  e.size = wave;
+  push(e);
+  ++counters_.term_waves;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return buf_.events();
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return buf_.dropped();
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(int nprocs, TraceConfig cfg) : cfg_(cfg) {
+  PREMA_CHECK_MSG(nprocs > 0, "recorder needs at least one processor");
+  strings_.emplace_back();  // id 0 = ""
+  sinks_.reserve(static_cast<std::size_t>(nprocs));
+  for (ProcId p = 0; p < nprocs; ++p) {
+    sinks_.push_back(std::make_unique<TraceSink>(*this, p, cfg_.buffer_capacity));
+  }
+}
+
+TraceSink& TraceRecorder::sink(ProcId p) {
+  PREMA_CHECK_MSG(p >= 0 && p < nprocs(), "trace sink rank out of range");
+  return *sinks_[static_cast<std::size_t>(p)];
+}
+
+const TraceSink& TraceRecorder::sink(ProcId p) const {
+  PREMA_CHECK_MSG(p >= 0 && p < nprocs(), "trace sink rank out of range");
+  return *sinks_[static_cast<std::size_t>(p)];
+}
+
+StrId TraceRecorder::intern(std::string_view s) {
+  if (s.empty()) return 0;
+  std::lock_guard<std::mutex> g(intern_mu_);
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::string_view TraceRecorder::name(StrId id) const {
+  std::lock_guard<std::mutex> g(intern_mu_);
+  if (id >= strings_.size()) return {};
+  return strings_[id];
+}
+
+std::uint64_t TraceRecorder::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sinks_) n += s->events().size();
+  return n;
+}
+
+std::uint64_t TraceRecorder::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sinks_) n += s->dropped();
+  return n;
+}
+
+}  // namespace prema::trace

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "trace/counters.hpp"
+
+/// \file trace.hpp
+/// Event-level tracing for the runtime stack. The paper's evaluation is all
+/// per-processor time attribution (Figs. 3-6); util::TimeLedger gives the
+/// summed buckets, this subsystem records the *individual* activities behind
+/// them — work-unit executions, message sends/receives, object migrations,
+/// balancing-policy decisions, polling wakeups, partition-calculation spans
+/// and termination-detector waves — on a per-processor timeline that can be
+/// exported to Chrome trace-event JSON (Perfetto / chrome://tracing) or
+/// reconciled against the ledger totals (see trace/export.hpp).
+///
+/// Design constraints:
+///  - Near-zero cost when off: tracing is attached per machine via
+///    dmcs::Machine::enable_tracing; every instrumentation site is a single
+///    null-pointer test on Node::trace() when tracing was never enabled.
+///  - Deterministic: recording never advances a virtual clock or perturbs
+///    event order, so two sim-backend runs with the same seed emit
+///    byte-identical trace files.
+///  - Bounded memory: one fixed-capacity ring buffer per processor; on
+///    overflow the *oldest* events are dropped (the tail of a run is what you
+///    are usually chasing) and a drop counter records the loss.
+///
+/// Timestamps are seconds since the start of the run in the machine's own
+/// clock domain: virtual time on dmcs::SimMachine, steady-clock wall time on
+/// dmcs::ThreadMachine.
+
+#ifndef PREMA_TRACE
+#define PREMA_TRACE 1
+#endif
+
+namespace prema::trace {
+
+/// True when the subsystem is compiled in (CMake option PREMA_TRACE).
+/// When false, dmcs::Machine::enable_tracing is a no-op returning nullptr,
+/// which turns every instrumentation site back into the untraced path.
+inline constexpr bool kCompiledIn = PREMA_TRACE != 0;
+
+/// Interned-string id (see TraceRecorder::intern). 0 is the empty string.
+using StrId = std::uint32_t;
+
+enum class EventKind : std::uint8_t {
+  kWorkUnit = 0,    ///< span: one scheduled work-unit activity (name=handler)
+  kPartition,       ///< span: (re)partitioner execution
+  kMessageSend,     ///< instant: peer=dst, size=bytes
+  kMessageRecv,     ///< instant: peer=src, size=bytes
+  kMigrationOut,    ///< instant: peer=dst, size=serialized bytes
+  kMigrationIn,     ///< instant: peer=src, size=serialized bytes
+  kPolicyDecision,  ///< instant: policy chose to migrate (peer=dst, name=policy)
+  kPolicyWire,      ///< instant: policy protocol message arrived (size=tag)
+  kPollWakeup,      ///< instant: preemptive polling-thread wakeup
+  kTermWave,        ///< instant: termination-detector wave launched (size=wave)
+  kCount
+};
+
+constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kCount);
+
+/// Display label for an event kind ("work-unit", "send", ...).
+std::string_view event_kind_name(EventKind k);
+
+/// One recorded event. Fixed-size POD so the ring buffer is a flat array.
+struct TraceEvent {
+  double t0 = 0.0;         ///< start time, seconds
+  double dur = 0.0;        ///< span duration (0 for instants)
+  std::uint64_t size = 0;  ///< bytes / tag / wave number, per kind
+  double value = 0.0;      ///< application weight hint (work units, decisions)
+  std::int32_t peer = -1;  ///< the other processor (src or dst), -1 if none
+  StrId name = 0;          ///< interned label (handler / policy name)
+  EventKind kind = EventKind::kWorkUnit;
+  std::uint8_t flags = 0;  ///< kFlagSystem for system-kind messages
+
+  static constexpr std::uint8_t kFlagSystem = 1;
+
+  [[nodiscard]] bool is_span() const {
+    return kind == EventKind::kWorkUnit || kind == EventKind::kPartition;
+  }
+};
+
+/// Fixed-capacity ring of TraceEvents that keeps the *newest* events.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void push(const TraceEvent& e);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events overwritten because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Copy out the retained events, oldest first (recording order).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+struct TraceConfig {
+  /// Master switch (RuntimeConfig::trace defaults to off).
+  bool enabled = false;
+  /// Ring capacity per processor, in events (~48 B each). On overflow the
+  /// oldest events are dropped and TraceBuffer::dropped counts them.
+  std::size_t buffer_capacity = 1 << 14;
+};
+
+class TraceRecorder;
+
+/// Per-processor recording handle. Instrumentation sites reach it through
+/// Node::trace(), which is nullptr unless tracing was enabled — so the
+/// disabled path costs one pointer test. Thread-safe: on the threaded
+/// backend the worker and the polling thread record concurrently.
+class TraceSink {
+ public:
+  TraceSink(TraceRecorder& rec, ProcId proc, std::size_t capacity);
+
+  // -- work-unit spans (one active per processor at a time) ---------------
+  /// A work-unit activity began at `t`. The span is held open until
+  /// work_end; the runtime layer may fill in handler/weight via
+  /// work_annotate while the body runs.
+  void work_begin(double t);
+  void work_annotate(StrId handler_name, double weight);
+  void work_end(double t);
+
+  /// A closed span (partition calculation etc.) that ran [t0, t0+dur].
+  void span(EventKind kind, double t0, double dur, StrId name = 0);
+
+  // -- instants -----------------------------------------------------------
+  void message_send(double t, ProcId dst, std::size_t bytes, bool system);
+  void message_recv(double t, ProcId src, std::size_t bytes, bool system);
+  void migration_out(double t, ProcId dst, std::size_t bytes);
+  void migration_in(double t, ProcId src, std::size_t bytes);
+  void policy_decision(double t, ProcId dst, double weight, StrId policy_name);
+  void policy_wire(double t, ProcId src, std::uint8_t tag);
+  void poll_wakeup(double t);
+  void term_wave(double t, std::uint64_t wave);
+
+  // -- counters / introspection ------------------------------------------
+  /// Lightweight per-processor counters and histograms, updated alongside
+  /// every recorded event (and directly by layers that track distributions
+  /// the event stream does not carry, e.g. scheduler queue depth).
+  [[nodiscard]] ProcCounters& counters() { return counters_; }
+  [[nodiscard]] const ProcCounters& counters() const { return counters_; }
+
+  [[nodiscard]] ProcId proc() const { return proc_; }
+  [[nodiscard]] TraceRecorder& recorder() { return rec_; }
+  /// Snapshot of retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  void push(const TraceEvent& e);
+
+  TraceRecorder& rec_;
+  ProcId proc_;
+  mutable std::mutex mu_;  ///< worker vs polling thread (threaded backend)
+  TraceBuffer buf_;
+  ProcCounters counters_;
+
+  bool work_open_ = false;
+  TraceEvent work_{};
+};
+
+/// Machine-wide recorder: one TraceSink per processor plus the shared
+/// string-intern table. Owned by dmcs::Machine (see Machine::enable_tracing).
+class TraceRecorder {
+ public:
+  TraceRecorder(int nprocs, TraceConfig cfg);
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(sinks_.size()); }
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+  [[nodiscard]] TraceSink& sink(ProcId p);
+  [[nodiscard]] const TraceSink& sink(ProcId p) const;
+
+  /// Intern `s`, returning a stable id (thread-safe; same string, same id).
+  StrId intern(std::string_view s);
+  /// The string behind an id ("" for 0 or out-of-range ids).
+  [[nodiscard]] std::string_view name(StrId id) const;
+
+  /// Total events currently retained across all processors.
+  [[nodiscard]] std::uint64_t total_events() const;
+  /// Total events dropped to overflow across all processors.
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+ private:
+  TraceConfig cfg_;
+  std::vector<std::unique_ptr<TraceSink>> sinks_;
+
+  mutable std::mutex intern_mu_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StrId> ids_;
+};
+
+}  // namespace prema::trace

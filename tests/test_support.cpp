@@ -149,6 +149,40 @@ TEST(Stats, SummarizeAggregates) {
   EXPECT_DOUBLE_EQ(s.sum, 60.0);
 }
 
+TEST(Stats, MergeMatchesSingleAccumulator) {
+  // Splitting a sample set across two accumulators and merging must agree
+  // with one accumulator that saw everything (Chan et al. parallel variance).
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats whole, left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  RunningStats s, empty;
+  s.add(1.0);
+  s.add(3.0);
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+
+  RunningStats t;
+  t.merge(s);  // merging into an empty accumulator copies the other side
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 3.0);
+}
+
 TEST(TimeLedger, ChargesAccumulatePerCategory) {
   TimeLedger l;
   l.charge(TimeCategory::kComputation, 2.0);
@@ -187,6 +221,47 @@ TEST(TimeLedger, CategoryNamesMatchFigureLegends) {
   EXPECT_EQ(time_category_name(TimeCategory::kPartitionCalc), "Partition Calculation");
   EXPECT_EQ(time_category_name(TimeCategory::kPolling), "Polling Thread");
   EXPECT_EQ(time_category_name(TimeCategory::kCallback), "Callback Routine");
+}
+
+TEST(TimeLedger, TotalIsSumOverAllCategories) {
+  TimeLedger l;
+  double expected = 0.0;
+  for (std::size_t c = 0; c < kTimeCategoryCount; ++c) {
+    const double seconds = 0.25 * static_cast<double>(c + 1);
+    l.charge(static_cast<TimeCategory>(c), seconds);
+    expected += seconds;
+  }
+  double by_get = 0.0;
+  for (std::size_t c = 0; c < kTimeCategoryCount; ++c) {
+    by_get += l.get(static_cast<TimeCategory>(c));
+  }
+  EXPECT_DOUBLE_EQ(l.total(), expected);
+  EXPECT_DOUBLE_EQ(l.total(), by_get);
+}
+
+TEST(TimeLedger, BusyAndOverheadPartitionTotal) {
+  TimeLedger l;
+  for (std::size_t c = 0; c < kTimeCategoryCount; ++c) {
+    l.charge(static_cast<TimeCategory>(c), 1.0 + static_cast<double>(c));
+  }
+  // busy = total - idle, and overhead excludes useful work and idle.
+  EXPECT_DOUBLE_EQ(l.busy(), l.total() - l.get(TimeCategory::kIdle));
+  EXPECT_DOUBLE_EQ(l.overhead(), l.busy() - l.get(TimeCategory::kComputation) -
+                                     l.get(TimeCategory::kCallback));
+  l.clear();
+  EXPECT_DOUBLE_EQ(l.total(), 0.0);
+  EXPECT_DOUBLE_EQ(l.busy(), 0.0);
+  EXPECT_DOUBLE_EQ(l.overhead(), 0.0);
+}
+
+TEST(TimeLedger, EveryCategoryHasADistinctName) {
+  std::vector<std::string_view> names;
+  for (std::size_t c = 0; c < kTimeCategoryCount; ++c) {
+    const auto name = time_category_name(static_cast<TimeCategory>(c));
+    EXPECT_FALSE(name.empty()) << "category " << c << " lacks a legend name";
+    for (const auto& seen : names) EXPECT_NE(name, seen);
+    names.push_back(name);
+  }
 }
 
 }  // namespace

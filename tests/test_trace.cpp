@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dmcs/sim_machine.hpp"
+#include "prema/runtime.hpp"
+#include "support/time_ledger.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace prema {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::TimeCategory;
+
+// ---------------------------------------------------------------------------
+// Ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(TraceBuffer, OverflowKeepsNewestEvents) {
+  trace::TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kPollWakeup;
+    e.t0 = static_cast<double>(i);
+    buf.push(e);
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first iteration over the survivors: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t0, 6.0 + static_cast<double>(i));
+  }
+}
+
+TEST(TraceBuffer, NoDropsBelowCapacity) {
+  trace::TraceBuffer buf(8);
+  trace::TraceEvent e;
+  e.kind = trace::EventKind::kTermWave;
+  for (int i = 0; i < 8; ++i) buf.push(e);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// A small traced PREMA application on the emulated machine
+// ---------------------------------------------------------------------------
+
+class Blob : public mol::MobileObject {
+ public:
+  explicit Blob(double mflop = 10.0) : mflop_(mflop) {}
+  [[nodiscard]] std::uint32_t type_id() const override { return 1; }
+  void serialize(ByteWriter& w) const override { w.put<double>(mflop_); }
+  static std::unique_ptr<mol::MobileObject> make(ByteReader& r) {
+    return std::make_unique<Blob>(r.get<double>());
+  }
+  double mflop_;
+};
+
+struct TracedRun {
+  double makespan = 0.0;
+  std::string json;
+  std::string summary;
+  std::vector<util::TimeLedger> ledgers;
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Run a small unbalanced workload (all objects start on rank 0) with the
+/// given settings and return the exported artifacts.
+TracedRun traced_run(bool enable_trace, std::uint64_t seed,
+                     std::size_t buffer_capacity = 1 << 14) {
+  sim::MachineConfig mcfg;
+  mcfg.nprocs = 4;
+  mcfg.seed = seed;
+  dmcs::SimMachine machine(mcfg);  // explicit polling: deterministic ledgers
+
+  RuntimeConfig rcfg;
+  rcfg.policy = "work_stealing";
+  rcfg.trace.enabled = enable_trace;
+  rcfg.trace.buffer_capacity = buffer_capacity;
+  Runtime rt(machine, rcfg);
+  rt.object_types().add(1, Blob::make);
+
+  const auto work = rt.register_object_handler(
+      "test.work", [](Context& ctx, mol::MobileObject& obj, ByteReader&,
+                      const mol::Delivery&) {
+        ctx.compute(static_cast<Blob&>(obj).mflop_);
+      });
+  rt.set_main([work](Context& ctx) {
+    if (ctx.rank() != 0) return;
+    for (int i = 0; i < 64; ++i) {
+      auto ptr = ctx.add_object(std::make_unique<Blob>(10.0));
+      ctx.message(ptr, work);
+    }
+  });
+
+  TracedRun out;
+  out.makespan = rt.run();
+  for (ProcId p = 0; p < machine.nprocs(); ++p) {
+    out.ledgers.push_back(machine.ledger(p));
+  }
+  if (const auto* rec = machine.tracer()) {
+    std::ostringstream json;
+    trace::write_chrome_trace(json, *rec);
+    out.json = json.str();
+    std::ostringstream summary;
+    trace::write_summary(summary, *rec, out.ledgers);
+    out.summary = summary.str();
+    out.events = rec->total_events();
+    out.dropped = rec->total_dropped();
+  }
+  return out;
+}
+
+TEST(TraceRun, ChromeExportIsValidAndCoversEventKinds) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "built with PREMA_TRACE=0";
+  const TracedRun run = traced_run(/*enable_trace=*/true, /*seed=*/7);
+  ASSERT_GT(run.events, 0u);
+
+  const auto check = trace::check_chrome_trace(run.json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.tracks, 4u);
+  EXPECT_GE(check.events, 64u);  // at least one span per executed unit
+
+  // All the layers show up: work units (annotated with the handler name),
+  // messages, migrations out of the overloaded rank, policy decisions, and
+  // the termination detector's waves.
+  EXPECT_NE(run.json.find("\"name\":\"test.work\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"send\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"recv\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"migrate-out\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"migrate-in\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"work_stealing\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"term-wave\""), std::string::npos);
+}
+
+TEST(TraceRun, SimBackendTracesAreDeterministic) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "built with PREMA_TRACE=0";
+  const TracedRun a = traced_run(/*enable_trace=*/true, /*seed=*/2003);
+  const TracedRun b = traced_run(/*enable_trace=*/true, /*seed=*/2003);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.json, b.json);  // byte-identical export for identical runs
+  EXPECT_EQ(a.summary, b.summary);
+}
+
+TEST(TraceRun, TracingDoesNotPerturbTheEmulation) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "built with PREMA_TRACE=0";
+  const TracedRun off = traced_run(/*enable_trace=*/false, /*seed=*/2003);
+  const TracedRun on = traced_run(/*enable_trace=*/true, /*seed=*/2003);
+  EXPECT_EQ(off.json, "");
+  // Recording never advances the virtual clocks, so the emulated run is
+  // bit-identical with tracing on or off.
+  EXPECT_DOUBLE_EQ(on.makespan, off.makespan);
+  ASSERT_EQ(on.ledgers.size(), off.ledgers.size());
+  for (std::size_t p = 0; p < on.ledgers.size(); ++p) {
+    for (std::size_t c = 0; c < util::kTimeCategoryCount; ++c) {
+      const auto cat = static_cast<TimeCategory>(c);
+      EXPECT_DOUBLE_EQ(on.ledgers[p].get(cat), off.ledgers[p].get(cat));
+    }
+  }
+}
+
+TEST(TraceRun, SummaryReconcilesWithTimeLedger) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "built with PREMA_TRACE=0";
+  const TracedRun run = traced_run(/*enable_trace=*/true, /*seed=*/7);
+  ASSERT_EQ(run.dropped, 0u);
+
+  // With explicit polling a work span is exactly the unit's computation, so
+  // the exact span-seconds counter must match the ledgers' Computation total.
+  double ledger_comp = 0.0;
+  for (const auto& l : run.ledgers) {
+    ledger_comp += l.get(TimeCategory::kComputation);
+  }
+  EXPECT_GT(ledger_comp, 0.0);
+  EXPECT_NE(run.summary.find("ledger reconciliation"), std::string::npos);
+
+  // The reported delta between traced span time and the ledger must be tiny
+  // (the summary prints it; here we recompute it from the counters' side by
+  // checking the summary quotes a sub-0.01% delta).
+  const auto pos = run.summary.find("(%");
+  (void)pos;
+  std::istringstream is(run.summary);
+  std::string line;
+  bool found = false;
+  while (std::getline(is, line)) {
+    if (line.find("ledger reconciliation") == std::string::npos) continue;
+    found = true;
+    const auto open = line.find('(');
+    ASSERT_NE(open, std::string::npos) << line;
+    const double delta_pct = std::abs(std::strtod(line.c_str() + open + 1, nullptr));
+    EXPECT_LT(delta_pct, 0.01) << line;
+  }
+  EXPECT_TRUE(found) << run.summary;
+}
+
+TEST(TraceRun, RingOverflowIsCountedAndExportStaysValid) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "built with PREMA_TRACE=0";
+  // A tiny ring forces drops; the export must stay structurally valid and
+  // the recorder must own up to the loss.
+  const TracedRun run = traced_run(/*enable_trace=*/true, /*seed=*/7,
+                                   /*buffer_capacity=*/32);
+  EXPECT_GT(run.dropped, 0u);
+  const auto check = trace::check_chrome_trace(run.json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_NE(run.summary.find("dropped to ring overflow"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Checker negative cases
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTraceCheck, RejectsMalformedDocuments) {
+  EXPECT_FALSE(trace::check_chrome_trace("not json").ok);
+  EXPECT_FALSE(trace::check_chrome_trace("{}").ok);
+  EXPECT_FALSE(trace::check_chrome_trace("{\"traceEvents\":[{}]}").ok);
+  // Non-monotonic timestamps within one track.
+  const char* bad =
+      "{\"traceEvents\":["
+      "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"name\":\"a\",\"ts\":2.0,\"s\":\"t\"},"
+      "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"name\":\"b\",\"ts\":1.0,\"s\":\"t\"}]}";
+  const auto check = trace::check_chrome_trace(bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("monotonic"), std::string::npos);
+}
+
+TEST(ChromeTraceCheck, AcceptsMinimalValidTrace) {
+  const char* good =
+      "{\"traceEvents\":["
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"w\",\"ts\":1.0,\"dur\":2.0},"
+      "{\"ph\":\"i\",\"pid\":0,\"tid\":1,\"name\":\"i\",\"ts\":0.5,\"s\":\"t\"}]}";
+  const auto check = trace::check_chrome_trace(good);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.events, 2u);
+  EXPECT_EQ(check.tracks, 2u);
+}
+
+}  // namespace
+}  // namespace prema
