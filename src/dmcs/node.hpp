@@ -1,11 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
-#include <mutex>
 
 #include "dmcs/handler_registry.hpp"
 #include "dmcs/message.hpp"
 #include "support/rng.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/time_ledger.hpp"
 
 namespace prema::trace {
@@ -43,10 +44,13 @@ struct PollingConfig {
 };
 
 /// Per-node message counters (used by quiescence detection and the reports).
+/// Atomic because on the threaded backend the worker and the polling thread
+/// both send and receive (a system handler dispatched by the poller may call
+/// Node::send concurrently with the worker's own sends).
 struct NodeStats {
-  std::uint64_t sent = 0;
-  std::uint64_t received = 0;
-  std::uint64_t work_units_executed = 0;
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> work_units_executed{0};
 };
 
 /// One processor's runtime context. Handlers and Program hooks receive the
@@ -122,8 +126,15 @@ class Node {
   /// sequential). Recursive because runtime layers nest: a policy handler
   /// entered under the lock may call back into MOL migration, which locks
   /// again.
-  [[nodiscard]] std::unique_lock<std::recursive_mutex> lock_state() {
-    return std::unique_lock<std::recursive_mutex>(state_mutex_);
+  [[nodiscard]] util::RecursiveLock lock_state() PREMA_ACQUIRE(state_mutex_) {
+    return util::RecursiveLock(state_mutex_);
+  }
+
+  /// The state capability itself, so other layers (MOL, PREMA runtime) can
+  /// name it in PREMA_GUARDED_BY / PREMA_REQUIRES annotations.
+  [[nodiscard]] util::RecursiveMutex& state_mutex()
+      PREMA_RETURN_CAPABILITY(state_mutex_) {
+    return state_mutex_;
   }
 
   /// This processor's trace sink, or nullptr when tracing is off (the
@@ -146,9 +157,9 @@ class Node {
   ProcId rank_;
   int nprocs_;
   NodeStats stats_;
-  trace::TraceSink* trace_ = nullptr;
-  void* user_ = nullptr;
-  std::recursive_mutex state_mutex_;
+  trace::TraceSink* trace_ = nullptr;  ///< installed before run(), then read-only
+  void* user_ = nullptr;               ///< installed before run(), then read-only
+  util::RecursiveMutex state_mutex_;
 };
 
 /// The behaviour a runtime layer plugs into each node. The backend drives the

@@ -38,6 +38,11 @@ const PollingConfig& ThreadNode::polling() const { return machine_.config().poll
 
 HandlerRegistry& ThreadNode::registry() { return machine_.registry(); }
 
+void ThreadNode::charge(TimeCategory cat, double seconds) {
+  util::LockGuard g(ledger_mutex_);
+  ledger_.charge(cat, seconds);
+}
+
 void ThreadNode::send(ProcId dst, Message msg) {
   PREMA_CHECK_MSG(dst >= 0 && dst < nprocs_, "send to invalid rank");
   msg.src = rank_;
@@ -56,12 +61,12 @@ void ThreadNode::send_self_after(double delay_s, Message msg) {
   machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
   const auto due = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                       std::chrono::duration<double>(delay_s));
-  std::lock_guard<std::mutex> g(timed_mutex_);
+  util::LockGuard g(timed_mutex_);
   timed_.emplace_back(due, std::move(msg));
 }
 
 void ThreadNode::cancel_timers() {
-  std::lock_guard<std::mutex> g(timed_mutex_);
+  util::LockGuard g(timed_mutex_);
   machine_.inflight_.fetch_sub(static_cast<std::int64_t>(timed_.size()),
                                std::memory_order_acq_rel);
   timed_.clear();
@@ -70,7 +75,7 @@ void ThreadNode::cancel_timers() {
 void ThreadNode::drain_due_timers() {
   std::vector<Message> due;
   {
-    std::lock_guard<std::mutex> g(timed_mutex_);
+    util::LockGuard g(timed_mutex_);
     const auto now = Clock::now();
     for (auto it = timed_.begin(); it != timed_.end();) {
       if (it->first <= now) {
@@ -86,7 +91,7 @@ void ThreadNode::drain_due_timers() {
 
 void ThreadNode::enqueue(Message&& msg) {
   {
-    std::lock_guard<std::mutex> g(inbox_mutex_);
+    util::LockGuard g(inbox_mutex_);
     inbox_.push_back(std::move(msg));
   }
   inbox_cv_.notify_all();
@@ -100,7 +105,7 @@ void ThreadNode::compute_seconds(double seconds, TimeCategory cat) {
   PREMA_CHECK_MSG(seconds >= 0.0, "negative compute cost");
   const double t0 = now();
   spin_for(seconds);
-  ledger_.charge(cat, seconds);
+  charge(cat, seconds);
   if (trace_ && cat == TimeCategory::kPartitionCalc && seconds > 0.0) {
     trace_->span(trace::EventKind::kPartition, t0, seconds);
   }
@@ -123,7 +128,7 @@ int ThreadNode::drain(bool system_only) {
   for (;;) {
     Message msg;
     {
-      std::lock_guard<std::mutex> g(inbox_mutex_);
+      util::LockGuard g(inbox_mutex_);
       if (system_only) {
         auto it = inbox_.begin();
         while (it != inbox_.end() && it->kind != MsgKind::kSystem) ++it;
@@ -159,11 +164,11 @@ void ThreadNode::worker_loop() {
     const auto t0 = Clock::now();
     const int handled = drain(/*system_only=*/false);
     if (handled > 0) {
-      ledger_.charge(TimeCategory::kMessaging, seconds_between(t0, Clock::now()));
+      charge(TimeCategory::kMessaging, seconds_between(t0, Clock::now()));
     }
     const auto t1 = Clock::now();
     const bool did = program_->service(*this);
-    if (!did) ledger_.charge(TimeCategory::kScheduling, seconds_between(t1, Clock::now()));
+    if (!did) charge(TimeCategory::kScheduling, seconds_between(t1, Clock::now()));
     if (did || handled > 0) {
       idle_.store(false, std::memory_order_release);
       continue;
@@ -171,11 +176,14 @@ void ThreadNode::worker_loop() {
     program_->on_idle(*this);
     idle_.store(true, std::memory_order_release);
     const auto t2 = Clock::now();
-    std::unique_lock<std::mutex> g(inbox_mutex_);
-    inbox_cv_.wait_for(g, std::chrono::milliseconds(1),
-                       [this] { return !inbox_.empty(); });
-    g.unlock();
-    ledger_.charge(TimeCategory::kIdle, seconds_between(t2, Clock::now()));
+    {
+      util::UniqueLock g(inbox_mutex_);
+      // No wait predicate: a spurious or timed-out wakeup just re-enters the
+      // drain loop above, so waiting "at most 1 ms unless something arrives"
+      // is all we need.
+      if (inbox_.empty()) inbox_cv_.wait_for(g, std::chrono::milliseconds(1));
+    }
+    charge(TimeCategory::kIdle, seconds_between(t2, Clock::now()));
     idle_.store(false, std::memory_order_release);
   }
 }
@@ -187,7 +195,7 @@ void ThreadNode::poller_loop() {
     const auto t0 = Clock::now();
     const int handled = drain(/*system_only=*/true);
     if (handled > 0) {
-      ledger_.charge(TimeCategory::kPolling, seconds_between(t0, Clock::now()));
+      charge(TimeCategory::kPolling, seconds_between(t0, Clock::now()));
       if (trace_) trace_->poll_wakeup(now());
     }
   }
@@ -207,7 +215,10 @@ Node& ThreadMachine::node(ProcId p) {
   return *nodes_[static_cast<std::size_t>(p)];
 }
 
-const util::TimeLedger& ThreadMachine::ledger(ProcId p) const {
+// Post-run accessor: called after run() has joined the worker threads (or
+// before it started them), so the ledger is no longer shared.
+const util::TimeLedger& ThreadMachine::ledger(ProcId p) const
+    PREMA_NO_THREAD_SAFETY_ANALYSIS {
   PREMA_CHECK_MSG(p >= 0 && p < nprocs(), "node id out of range");
   return nodes_[static_cast<std::size_t>(p)]->ledger_;
 }

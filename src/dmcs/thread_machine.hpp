@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dmcs/machine.hpp"
+#include "support/thread_annotations.hpp"
 
 /// \file thread_machine.hpp
 /// DMCS backend on real OS threads: one worker thread per virtual processor,
@@ -23,6 +24,12 @@
 /// SimMachine. Program hooks that touch state shared with the polling thread
 /// must guard it with Node::lock_state(); on the emulated machine that lock
 /// is uncontended and free.
+///
+/// Lock hierarchy (see DESIGN.md "Lock hierarchy"): Node::state_mutex() is
+/// above the per-node inbox/timed mutexes here, which are above the trace
+/// sink mutexes. Locks are only ever taken downward: a handler running under
+/// the state lock may enqueue into a peer's inbox; drain() pops the inbox
+/// *before* dispatching, so no handler ever runs with an inbox lock held.
 
 namespace prema::dmcs {
 
@@ -42,7 +49,13 @@ class ThreadNode final : public Node {
 
   [[nodiscard]] double now() const override;
   [[nodiscard]] util::Rng& rng() override { return rng_; }
-  [[nodiscard]] util::TimeLedger& ledger() override { return ledger_; }
+  /// Post-run accessor: the worker/poller threads charge through charge()
+  /// under ledger_mutex_; by the time anyone holds this reference the
+  /// machine has joined its threads.
+  [[nodiscard]] util::TimeLedger& ledger() override
+      PREMA_NO_THREAD_SAFETY_ANALYSIS {
+    return ledger_;
+  }
   [[nodiscard]] const PollingConfig& polling() const override;
   [[nodiscard]] HandlerRegistry& registry() override;
 
@@ -54,7 +67,7 @@ class ThreadNode final : public Node {
   void execute(Message&& msg, std::function<void()> on_complete) override;
   [[nodiscard]] bool executing() const override { return executing_.load(); }
   [[nodiscard]] std::size_t inbox_size() const override {
-    std::lock_guard<std::mutex> g(const_cast<std::mutex&>(inbox_mutex_));
+    util::LockGuard g(inbox_mutex_);
     return inbox_.size();
   }
 
@@ -68,22 +81,31 @@ class ThreadNode final : public Node {
   /// Returns the number of messages handled.
   int drain(bool system_only);
 
-  ThreadMachine& machine_;
-  util::Rng rng_;
-  util::TimeLedger ledger_;
+  /// Charge `seconds` to the ledger under ledger_mutex_ (the worker and the
+  /// polling thread both account time, e.g. Scheduling from a policy handler
+  /// dispatched by the poller racing the worker's own Scheduling charge).
+  void charge(util::TimeCategory cat, double seconds);
 
-  std::mutex inbox_mutex_;
-  std::condition_variable inbox_cv_;
-  std::deque<Message> inbox_;
+  ThreadMachine& machine_;
+  util::Rng rng_;  ///< worker-thread only
+
+  util::Mutex ledger_mutex_;
+  util::TimeLedger ledger_ PREMA_GUARDED_BY(ledger_mutex_);
+
+  /// mutable so const observers (inbox_size) can lock it without casting.
+  mutable util::Mutex inbox_mutex_;
+  util::CondVar inbox_cv_;
+  std::deque<Message> inbox_ PREMA_GUARDED_BY(inbox_mutex_);
 
   /// Timer messages (send_self_after) waiting for their due time; moved into
   /// the inbox by the worker loop.
-  std::mutex timed_mutex_;
-  std::vector<std::pair<std::chrono::steady_clock::time_point, Message>> timed_;
+  util::Mutex timed_mutex_;
+  std::vector<std::pair<std::chrono::steady_clock::time_point, Message>> timed_
+      PREMA_GUARDED_BY(timed_mutex_);
 
   void drain_due_timers();
 
-  Program* program_ = nullptr;
+  Program* program_ = nullptr;  ///< installed before the threads start
   std::atomic<bool> executing_{false};
   std::atomic<bool> idle_{false};
 
@@ -110,13 +132,15 @@ class ThreadMachine final : public Machine {
   [[nodiscard]] bool quiescent() const;
 
   ThreadConfig cfg_;
-  HandlerRegistry registry_;
+  HandlerRegistry registry_;  ///< handlers registered before run(), then read-only
   std::vector<std::unique_ptr<ThreadNode>> nodes_;
   std::vector<std::unique_ptr<Program>> programs_;
   std::atomic<std::int64_t> inflight_{0};
   std::atomic<bool> done_{false};
+  /// Written once in run() before the worker threads are created (the thread
+  /// launch provides the happens-before edge for their reads in now()).
   std::chrono::steady_clock::time_point start_;
-  bool ran_ = false;
+  bool ran_ = false;  ///< main thread only
 };
 
 }  // namespace prema::dmcs

@@ -31,8 +31,7 @@ void Balancer::poll() {
   charge_seconds(cfg_.decision_cost_s);
   policy_->on_poll(*this);
   if (auto* ts = node_.trace(); ts && migrations_this_round_ > 0) {
-    ts->counters().migrations_per_round.add(
-        static_cast<double>(migrations_this_round_));
+    ts->sample_migrations_round(static_cast<double>(migrations_this_round_));
     migrations_this_round_ = 0;
   }
 }
@@ -57,7 +56,7 @@ void Balancer::on_wire(dmcs::Message&& msg) {
 void Balancer::work_arrived() {
   if (!cfg_.enabled) return;
   if (auto* ts = node_.trace()) {
-    ts->counters().queue_depth.add(static_cast<double>(sched_.queued_units()));
+    ts->sample_queue_depth(static_cast<double>(sched_.queued_units()));
   }
   policy_->on_work_arrived(*this);
 }

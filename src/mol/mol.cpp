@@ -38,6 +38,7 @@ Mol::Mol(dmcs::Node& node, const ObjectTypeRegistry& types, dmcs::HandlerId rout
 
 MobilePtr Mol::add_object(std::unique_ptr<MobileObject> obj) {
   PREMA_CHECK_MSG(obj != nullptr, "cannot register a null object");
+  util::RecursiveLock g(node_.state_mutex());
   const MobilePtr ptr{node_.rank(), next_index_++};
   local_.emplace(ptr, LocalEntry{std::move(obj), 0, {}, {}});
   home_dir_[ptr.index] = node_.rank();
@@ -45,19 +46,36 @@ MobilePtr Mol::add_object(std::unique_ptr<MobileObject> obj) {
 }
 
 MobileObject* Mol::find(const MobilePtr& ptr) {
+  util::RecursiveLock g(node_.state_mutex());
   auto it = local_.find(ptr);
   return it == local_.end() ? nullptr : it->second.obj.get();
 }
 
 bool Mol::is_local(const MobilePtr& ptr) const {
+  util::RecursiveLock g(node_.state_mutex());
+  return is_local_locked(ptr);
+}
+
+bool Mol::is_local_locked(const MobilePtr& ptr) const {
   return local_.find(ptr) != local_.end();
 }
 
+std::size_t Mol::local_count() const {
+  util::RecursiveLock g(node_.state_mutex());
+  return local_.size();
+}
+
 std::vector<MobilePtr> Mol::local_ptrs() const {
+  util::RecursiveLock g(node_.state_mutex());
   std::vector<MobilePtr> out;
   out.reserve(local_.size());
   for (const auto& [ptr, entry] : local_) out.push_back(ptr);
   return out;
+}
+
+Mol::Stats Mol::stats() const {
+  util::RecursiveLock g(node_.state_mutex());
+  return stats_;
 }
 
 ProcId Mol::best_known(const MobilePtr& ptr) const {
@@ -80,9 +98,15 @@ ProcId Mol::best_known(const MobilePtr& ptr) const {
 
 void Mol::message(const MobilePtr& target, ObjectHandlerId handler,
                   std::vector<std::uint8_t> payload, double weight) {
+  util::RecursiveLock g(node_.state_mutex());
+  message_locked(target, handler, std::move(payload), weight);
+}
+
+void Mol::message_locked(const MobilePtr& target, ObjectHandlerId handler,
+                         std::vector<std::uint8_t> payload, double weight) {
   PREMA_CHECK_MSG(!target.is_null(), "message to null mobile pointer");
   const std::uint32_t seq = next_seq_out_[target]++;
-  const ProcId dst = is_local(target) ? node_.rank() : best_known(target);
+  const ProcId dst = is_local_locked(target) ? node_.rank() : best_known(target);
   send_route(dst, target, node_.rank(), seq, 0, handler, weight, std::move(payload));
 }
 
@@ -101,6 +125,11 @@ void Mol::send_route(ProcId dst, const MobilePtr& target, ProcId origin,
 }
 
 void Mol::on_route(Message&& msg) {
+  util::RecursiveLock g(node_.state_mutex());
+  on_route_locked(std::move(msg));
+}
+
+void Mol::on_route_locked(Message&& msg) {
   ByteReader r(msg.payload);
   const MobilePtr target = get_ptr(r);
   const ProcId origin = r.get<ProcId>();
@@ -170,6 +199,11 @@ void Mol::deliver(const MobilePtr& ptr, LocalEntry& entry, ProcId origin,
 }
 
 void Mol::migrate(const MobilePtr& ptr, ProcId dst) {
+  util::RecursiveLock g(node_.state_mutex());
+  migrate_locked(ptr, dst);
+}
+
+void Mol::migrate_locked(const MobilePtr& ptr, ProcId dst) {
   PREMA_CHECK_MSG(dst >= 0 && dst < node_.nprocs(), "migrate to invalid rank");
   auto it = local_.find(ptr);
   PREMA_CHECK_MSG(it != local_.end(), "cannot migrate a non-local object");
@@ -219,6 +253,11 @@ void Mol::migrate(const MobilePtr& ptr, ProcId dst) {
 }
 
 void Mol::on_migrate(Message&& msg) {
+  util::RecursiveLock g(node_.state_mutex());
+  on_migrate_locked(std::move(msg));
+}
+
+void Mol::on_migrate_locked(Message&& msg) {
   if (auto* ts = node_.trace()) {
     ts->migration_in(node_.now(), msg.src, msg.payload.size());
   }
@@ -291,6 +330,7 @@ void Mol::on_migrate(Message&& msg) {
 }
 
 void Mol::on_location_update(Message&& msg) {
+  util::RecursiveLock g(node_.state_mutex());
   ByteReader r(msg.payload);
   const MobilePtr ptr = get_ptr(r);
   const ProcId loc = r.get<ProcId>();
@@ -298,7 +338,7 @@ void Mol::on_location_update(Message&& msg) {
 }
 
 void Mol::learn(const MobilePtr& ptr, ProcId loc) {
-  if (is_local(ptr)) return;  // we hold it; updates are stale by definition
+  if (is_local_locked(ptr)) return;  // we hold it; updates are stale by definition
   if (ptr.home == node_.rank()) {
     home_dir_[ptr.index] = loc;
     return;
@@ -308,16 +348,15 @@ void Mol::learn(const MobilePtr& ptr, ProcId loc) {
 
 MolLayer::MolLayer(dmcs::Machine& machine) {
   auto& reg = machine.registry();
+  // The handler bodies lock the node's state themselves (see mol.hpp), so
+  // these registered thunks are plain dispatchers.
   const auto route_h = reg.add("mol.route", [this](dmcs::Node& n, Message&& m) {
-    auto g = n.lock_state();
     at(n.rank()).on_route(std::move(m));
   });
   const auto migrate_h = reg.add("mol.migrate", [this](dmcs::Node& n, Message&& m) {
-    auto g = n.lock_state();
     at(n.rank()).on_migrate(std::move(m));
   });
   const auto update_h = reg.add("mol.update", [this](dmcs::Node& n, Message&& m) {
-    auto g = n.lock_state();
     at(n.rank()).on_location_update(std::move(m));
   });
   nodes_.reserve(static_cast<std::size_t>(machine.nprocs()));

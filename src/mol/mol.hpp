@@ -10,6 +10,7 @@
 #include "mol/delivery.hpp"
 #include "mol/mobile_object.hpp"
 #include "mol/mobile_ptr.hpp"
+#include "support/thread_annotations.hpp"
 
 /// \file mol.hpp
 /// The Mobile Object Layer (Chrisochoides et al. 2000): a global namespace of
@@ -24,9 +25,12 @@
 ///     delivered in send order even across migrations (sequence numbers and a
 ///     resequencing buffer that migrates with the object).
 ///
-/// Concurrency: every public method and handler entry assumes the caller
-/// holds the node's state lock (Node::lock_state); MolLayer's registered DMCS
-/// handlers take it, as does the PREMA runtime facade.
+/// Concurrency: every public method takes the node's state lock itself
+/// (Node::state_mutex, recursive) before touching the directory, so callers —
+/// MolLayer's registered DMCS handlers, the PREMA runtime facade, balancing
+/// policies running on the polling thread — need no locking discipline of
+/// their own; holding the state lock already (the runtime does) just nests.
+/// Hooks installed via set_hooks are invoked *with the state lock held*.
 
 namespace prema::mol {
 
@@ -75,12 +79,16 @@ class Mol {
   void migrate(const MobilePtr& ptr, ProcId dst);
 
   /// The local object named by `ptr`, or nullptr if it is not resident here.
+  /// The pointer stays valid until the object migrates away; callers that can
+  /// race a migration (none today — policies only migrate idle objects) must
+  /// hold the state lock across use.
   [[nodiscard]] MobileObject* find(const MobilePtr& ptr);
   [[nodiscard]] bool is_local(const MobilePtr& ptr) const;
-  [[nodiscard]] std::size_t local_count() const { return local_.size(); }
+  [[nodiscard]] std::size_t local_count() const;
   [[nodiscard]] std::vector<MobilePtr> local_ptrs() const;
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Snapshot copy (the poller may be mutating counters concurrently).
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] dmcs::Node& node() { return node_; }
 
   /// DMCS handler bodies (invoked by MolLayer's registered handlers).
@@ -102,30 +110,58 @@ class Mol {
     std::map<std::pair<ProcId, std::uint32_t>, Buffered> reorder;
   };
 
+  // Locked bodies of the public methods; all directory state is touched here,
+  // under the node's state lock (which the public wrappers acquire).
+  void message_locked(const MobilePtr& target, ObjectHandlerId handler,
+                      std::vector<std::uint8_t> payload, double weight)
+      PREMA_REQUIRES(node_.state_mutex());
+  void migrate_locked(const MobilePtr& ptr, ProcId dst)
+      PREMA_REQUIRES(node_.state_mutex());
+  void on_route_locked(dmcs::Message&& msg) PREMA_REQUIRES(node_.state_mutex());
+  void on_migrate_locked(dmcs::Message&& msg) PREMA_REQUIRES(node_.state_mutex());
+
   /// Best current guess for where `ptr` lives (never this processor).
-  [[nodiscard]] ProcId best_known(const MobilePtr& ptr) const;
+  [[nodiscard]] ProcId best_known(const MobilePtr& ptr) const
+      PREMA_REQUIRES(node_.state_mutex());
+  [[nodiscard]] bool is_local_locked(const MobilePtr& ptr) const
+      PREMA_REQUIRES(node_.state_mutex());
 
   void accept(const MobilePtr& ptr, LocalEntry& entry, ProcId origin,
-              std::uint32_t seq, Buffered&& msg);
+              std::uint32_t seq, Buffered&& msg)
+      PREMA_REQUIRES(node_.state_mutex());
   void deliver(const MobilePtr& ptr, LocalEntry& entry, ProcId origin,
-               Buffered&& msg);
+               Buffered&& msg) PREMA_REQUIRES(node_.state_mutex());
   void send_route(ProcId dst, const MobilePtr& target, ProcId origin,
                   std::uint32_t seq, std::uint32_t hops, ObjectHandlerId handler,
-                  double weight, std::vector<std::uint8_t>&& payload);
-  void learn(const MobilePtr& ptr, ProcId loc);
+                  double weight, std::vector<std::uint8_t>&& payload)
+      PREMA_REQUIRES(node_.state_mutex());
+  void learn(const MobilePtr& ptr, ProcId loc) PREMA_REQUIRES(node_.state_mutex());
 
   dmcs::Node& node_;
   const ObjectTypeRegistry& types_;
   dmcs::HandlerId route_h_, migrate_h_, update_h_;
-  Hooks hooks_;
-  Stats stats_;
+  Hooks hooks_;  ///< installed before run(), then read-only
 
-  std::uint32_t next_index_ = 0;
-  std::unordered_map<MobilePtr, LocalEntry> local_;
-  std::unordered_map<MobilePtr, ProcId> forwarding_;  ///< where it went from here
-  std::unordered_map<MobilePtr, ProcId> cache_;       ///< lazily learned locations
-  std::unordered_map<std::uint32_t, ProcId> home_dir_;  ///< authoritative, for our indices
-  std::unordered_map<MobilePtr, std::uint32_t> next_seq_out_;  ///< per target
+  // -- directory state, guarded by the node's state lock --------------------
+  // The worker thread and the preemptive polling thread both run MOL protocol
+  // code (policy handlers on the poller migrate objects; the worker routes
+  // application messages), so every map below is shared mutable state.
+  Stats stats_ PREMA_GUARDED_BY(node_.state_mutex());
+  std::uint32_t next_index_ PREMA_GUARDED_BY(node_.state_mutex()) = 0;
+  std::unordered_map<MobilePtr, LocalEntry> local_
+      PREMA_GUARDED_BY(node_.state_mutex());
+  /// Where each object went from here (forwarding addresses).
+  std::unordered_map<MobilePtr, ProcId> forwarding_
+      PREMA_GUARDED_BY(node_.state_mutex());
+  /// Lazily learned locations.
+  std::unordered_map<MobilePtr, ProcId> cache_
+      PREMA_GUARDED_BY(node_.state_mutex());
+  /// Authoritative directory for the mobile pointers homed here.
+  std::unordered_map<std::uint32_t, ProcId> home_dir_
+      PREMA_GUARDED_BY(node_.state_mutex());
+  /// Next outgoing sequence number, per target.
+  std::unordered_map<MobilePtr, std::uint32_t> next_seq_out_
+      PREMA_GUARDED_BY(node_.state_mutex());
 };
 
 /// Machine-wide MOL: registers the DMCS handlers once and owns one Mol per

@@ -22,32 +22,51 @@ constexpr std::uint8_t kTermDone = 4;
 
 }  // namespace
 
-/// Per-processor runtime state.
+/// Per-processor runtime state. The worker thread and (in implicit polling
+/// mode) the polling thread both run code that touches it — a policy handler
+/// dispatched by the poller enqueues stolen work into the same scheduler the
+/// worker is picking from — so the mutable fields are guarded by the node's
+/// state lock. Thread-safety analysis cannot see that a lock taken through
+/// one alias (the handler's `n.lock_state()`) covers fields named through
+/// another (`rt.node->state_mutex()`), so entry points re-establish the fact
+/// with assert_state_held().
 struct Runtime::NodeRt {
-  Context ctx;
-  dmcs::Node* node = nullptr;
-  mol::Mol* mol = nullptr;
-  ilb::Scheduler sched;
+  Context ctx;                    ///< wired in the Runtime ctor, then read-only
+  dmcs::Node* node = nullptr;     ///< wired in the Runtime ctor, then read-only
+  mol::Mol* mol = nullptr;        ///< wired in the Runtime ctor, then read-only
+  ilb::Scheduler sched PREMA_GUARDED_BY(node->state_mutex());
+  /// The pointer is wired in the ctor and never reseated; the Balancer's own
+  /// state is mutated only under the node's state lock (all its entry points
+  /// — poll, on_wire, work_arrived, unit_started — are reached from code
+  /// holding it).
   std::unique_ptr<ilb::Balancer> balancer;
 
   // Slot for the work unit currently being executed (see exec_wrapper).
-  mol::Delivery current;
-  bool has_current = false;
+  mol::Delivery current PREMA_GUARDED_BY(node->state_mutex());
+  bool has_current PREMA_GUARDED_BY(node->state_mutex()) = false;
 
   // Termination-detection state.
-  std::uint64_t term_sent = 0;
-  std::uint64_t term_recv = 0;
-  std::int64_t reported_sent = -1;
-  std::int64_t reported_recv = -1;
-  bool did_work = true;  ///< activity since the last idle report
+  std::uint64_t term_sent PREMA_GUARDED_BY(node->state_mutex()) = 0;
+  std::uint64_t term_recv PREMA_GUARDED_BY(node->state_mutex()) = 0;
+  std::int64_t reported_sent PREMA_GUARDED_BY(node->state_mutex()) = -1;
+  std::int64_t reported_recv PREMA_GUARDED_BY(node->state_mutex()) = -1;
+  /// Activity since the last idle report.
+  bool did_work PREMA_GUARDED_BY(node->state_mutex()) = true;
 
-  [[nodiscard]] std::uint64_t eff_sent() const {
+  /// Tell the analysis the node's state lock is held. Used where the lock
+  /// was demonstrably taken through an alias the analysis cannot connect to
+  /// this struct's guard expression (see struct comment).
+  void assert_state_held() const PREMA_ASSERT_CAPABILITY(node->state_mutex()) {}
+
+  [[nodiscard]] std::uint64_t eff_sent() const
+      PREMA_REQUIRES(node->state_mutex()) {
     return node->stats().sent - term_sent;
   }
-  [[nodiscard]] std::uint64_t eff_recv() const {
+  [[nodiscard]] std::uint64_t eff_recv() const
+      PREMA_REQUIRES(node->state_mutex()) {
     return node->stats().received - term_recv;
   }
-  [[nodiscard]] bool locally_quiet() const {
+  [[nodiscard]] bool locally_quiet() const PREMA_REQUIRES(node->state_mutex()) {
     return !sched.has_work() && !node->executing() && node->inbox_size() == 0;
   }
 };
@@ -78,6 +97,7 @@ class Runtime::NodeProgram final : public dmcs::Program {
 
   bool service(dmcs::Node& n) override {
     auto lock = n.lock_state();
+    node_.assert_state_held();  // n is node_.node; see NodeRt's struct comment
     node_.balancer->poll();
     auto d = node_.sched.pick();
     if (!d) return false;
@@ -86,6 +106,7 @@ class Runtime::NodeProgram final : public dmcs::Program {
     lock.unlock();
     n.execute(Message{rt_.exec_h_, n.rank(), MsgKind::kApp, {}}, [this, &n] {
       auto g = n.lock_state();
+      node_.assert_state_held();
       node_.sched.complete();
       node_.did_work = true;
     });
@@ -98,6 +119,7 @@ class Runtime::NodeProgram final : public dmcs::Program {
 
   void on_idle(dmcs::Node& n) override {
     auto g = n.lock_state();
+    node_.assert_state_held();
     node_.balancer->poll();
     if (rt_.cfg_.termination_detection) rt_.term_on_idle(node_);
   }
@@ -146,15 +168,20 @@ Runtime::Runtime(dmcs::Machine& machine, RuntimeConfig cfg)
   for (ProcId p = 0; p < machine_.nprocs(); ++p) {
     NodeRt* r = nodes_[static_cast<std::size_t>(p)].get();
     mol::Mol::Hooks hooks;
+    // MOL invokes the hooks with the node's state lock held (see mol.hpp);
+    // the analysis cannot see that through the callback boundary.
     hooks.on_delivery = [r](mol::Delivery&& d) {
+      r->assert_state_held();
       r->sched.enqueue(std::move(d));
       r->did_work = true;
       r->balancer->work_arrived();
     };
     hooks.take_queued = [r](const mol::MobilePtr& ptr) {
+      r->assert_state_held();
       return r->sched.take_queued(ptr);
     };
     hooks.on_installed = [r](const mol::MobilePtr&) {
+      r->assert_state_held();
       r->did_work = true;
       r->balancer->work_arrived();
     };
@@ -192,6 +219,7 @@ void Runtime::exec_wrapper(dmcs::Node& n, Message&&) {
   mol::MobileObject* obj = nullptr;
   {
     auto g = n.lock_state();
+    r.assert_state_held();
     PREMA_CHECK_MSG(r.has_current, "exec wrapper without a picked unit");
     d = std::move(r.current);
     r.has_current = false;
@@ -237,12 +265,14 @@ double Runtime::run() {
 
 void Runtime::term_send(ProcId from, ProcId to, std::vector<std::uint8_t> payload) {
   NodeRt& r = rt(from);
+  r.assert_state_held();  // callers hold `from`'s state lock (handler / on_idle)
   ++r.term_sent;
   // The matching receive is counted when the message is processed.
   r.node->send(to, Message{term_h_, from, MsgKind::kSystem, std::move(payload)});
 }
 
 void Runtime::term_on_idle(NodeRt& r) {
+  r.assert_state_held();  // reached from on_idle / handlers, lock held
   const auto sent = static_cast<std::int64_t>(r.eff_sent());
   const auto recv = static_cast<std::int64_t>(r.eff_recv());
   if (!r.did_work && sent == r.reported_sent && recv == r.reported_recv) return;
@@ -263,6 +293,7 @@ void Runtime::term_on_idle(NodeRt& r) {
 }
 
 void Runtime::term_consider_wave(NodeRt& r0) {
+  r0.assert_state_held();
   PREMA_CHECK(r0.node->rank() == 0);
   auto& c = *term_;
   if (c.wave_active || term_detected_) return;
@@ -282,6 +313,7 @@ void Runtime::term_consider_wave(NodeRt& r0) {
 }
 
 void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
+  r0.assert_state_held();
   auto& c = *term_;
   ++c.wave;
   ++term_waves_;
@@ -305,6 +337,7 @@ void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
 
 void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
                               std::uint64_t recv, bool idle) {
+  r0.assert_state_held();
   auto& c = *term_;
   if (!c.wave_active || wave != c.wave || term_detected_) return;
   ++c.acks;
@@ -339,6 +372,7 @@ void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent
 }
 
 void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
+  r.assert_state_held();  // handler thunk takes the node's state lock
   ++r.term_recv;
   ByteReader reader(msg.payload);
   const auto tag = reader.get<std::uint8_t>();
@@ -388,24 +422,23 @@ void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
 // Context
 // ---------------------------------------------------------------------------
 
+// MOL's public methods lock the node state themselves (see mol.hpp), so these
+// veneers are plain delegations.
+
 mol::MobilePtr Context::add_object(std::unique_ptr<mol::MobileObject> obj) {
-  auto g = node_->lock_state();
   return mol_->add_object(std::move(obj));
 }
 
 void Context::message(const mol::MobilePtr& target, mol::ObjectHandlerId handler,
                       std::vector<std::uint8_t> payload, double weight) {
-  auto g = node_->lock_state();
   mol_->message(target, handler, std::move(payload), weight);
 }
 
 mol::MobileObject* Context::local(const mol::MobilePtr& ptr) {
-  auto g = node_->lock_state();
   return mol_->find(ptr);
 }
 
 bool Context::is_local(const mol::MobilePtr& ptr) {
-  auto g = node_->lock_state();
   return mol_->is_local(ptr);
 }
 

@@ -61,12 +61,14 @@ TraceSink::TraceSink(TraceRecorder& rec, ProcId proc, std::size_t capacity)
     : rec_(rec), proc_(proc), buf_(capacity) {}
 
 void TraceSink::push(const TraceEvent& e) {
-  std::lock_guard<std::mutex> g(mu_);
-  buf_.push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
 }
 
+void TraceSink::push_locked(const TraceEvent& e) { buf_.push(e); }
+
 void TraceSink::work_begin(double t) {
-  std::lock_guard<std::mutex> g(mu_);
+  util::LockGuard g(mu_);
   work_ = TraceEvent{};
   work_.kind = EventKind::kWorkUnit;
   work_.t0 = t;
@@ -74,18 +76,18 @@ void TraceSink::work_begin(double t) {
 }
 
 void TraceSink::work_annotate(StrId handler_name, double weight) {
-  std::lock_guard<std::mutex> g(mu_);
+  util::LockGuard g(mu_);
   if (!work_open_) return;
   work_.name = handler_name;
   work_.value = weight;
 }
 
 void TraceSink::work_end(double t) {
-  std::lock_guard<std::mutex> g(mu_);
+  util::LockGuard g(mu_);
   if (!work_open_) return;
   work_open_ = false;
   work_.dur = std::max(0.0, t - work_.t0);
-  buf_.push(work_);
+  push_locked(work_);
   ++counters_.work_units;
   counters_.work_seconds += work_.dur;
 }
@@ -96,7 +98,8 @@ void TraceSink::span(EventKind kind, double t0, double dur, StrId name) {
   e.t0 = t0;
   e.dur = dur;
   e.name = name;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   if (kind == EventKind::kPartition) {
     ++counters_.partitions;
     counters_.partition_seconds += dur;
@@ -110,7 +113,8 @@ void TraceSink::message_send(double t, ProcId dst, std::size_t bytes, bool syste
   e.peer = dst;
   e.size = bytes;
   if (system) e.flags |= TraceEvent::kFlagSystem;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.msgs_sent;
   counters_.bytes_sent += bytes;
   counters_.msg_size.add(static_cast<double>(bytes));
@@ -123,7 +127,8 @@ void TraceSink::message_recv(double t, ProcId src, std::size_t bytes, bool syste
   e.peer = src;
   e.size = bytes;
   if (system) e.flags |= TraceEvent::kFlagSystem;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.msgs_received;
   counters_.bytes_received += bytes;
 }
@@ -134,7 +139,8 @@ void TraceSink::migration_out(double t, ProcId dst, std::size_t bytes) {
   e.t0 = t;
   e.peer = dst;
   e.size = bytes;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.migrations_out;
 }
 
@@ -144,7 +150,8 @@ void TraceSink::migration_in(double t, ProcId src, std::size_t bytes) {
   e.t0 = t;
   e.peer = src;
   e.size = bytes;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.migrations_in;
 }
 
@@ -156,7 +163,8 @@ void TraceSink::policy_decision(double t, ProcId dst, double weight,
   e.peer = dst;
   e.value = weight;
   e.name = policy_name;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.policy_decisions;
 }
 
@@ -166,7 +174,8 @@ void TraceSink::policy_wire(double t, ProcId src, std::uint8_t tag) {
   e.t0 = t;
   e.peer = src;
   e.size = tag;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.policy_wire_msgs;
 }
 
@@ -174,7 +183,8 @@ void TraceSink::poll_wakeup(double t) {
   TraceEvent e;
   e.kind = EventKind::kPollWakeup;
   e.t0 = t;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.poll_wakeups;
 }
 
@@ -183,17 +193,33 @@ void TraceSink::term_wave(double t, std::uint64_t wave) {
   e.kind = EventKind::kTermWave;
   e.t0 = t;
   e.size = wave;
-  push(e);
+  util::LockGuard g(mu_);
+  push_locked(e);
   ++counters_.term_waves;
 }
 
+ProcCounters TraceSink::counters() const {
+  util::LockGuard g(mu_);
+  return counters_;
+}
+
+void TraceSink::sample_queue_depth(double queued_units) {
+  util::LockGuard g(mu_);
+  counters_.queue_depth.add(queued_units);
+}
+
+void TraceSink::sample_migrations_round(double objects_moved) {
+  util::LockGuard g(mu_);
+  counters_.migrations_per_round.add(objects_moved);
+}
+
 std::vector<TraceEvent> TraceSink::events() const {
-  std::lock_guard<std::mutex> g(mu_);
+  util::LockGuard g(mu_);
   return buf_.events();
 }
 
 std::uint64_t TraceSink::dropped() const {
-  std::lock_guard<std::mutex> g(mu_);
+  util::LockGuard g(mu_);
   return buf_.dropped();
 }
 
@@ -222,7 +248,7 @@ const TraceSink& TraceRecorder::sink(ProcId p) const {
 
 StrId TraceRecorder::intern(std::string_view s) {
   if (s.empty()) return 0;
-  std::lock_guard<std::mutex> g(intern_mu_);
+  util::LockGuard g(intern_mu_);
   auto it = ids_.find(std::string(s));
   if (it != ids_.end()) return it->second;
   const auto id = static_cast<StrId>(strings_.size());
@@ -232,7 +258,7 @@ StrId TraceRecorder::intern(std::string_view s) {
 }
 
 std::string_view TraceRecorder::name(StrId id) const {
-  std::lock_guard<std::mutex> g(intern_mu_);
+  util::LockGuard g(intern_mu_);
   if (id >= strings_.size()) return {};
   return strings_[id];
 }

@@ -2,14 +2,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
+#include "support/thread_annotations.hpp"
 #include "trace/counters.hpp"
 
 /// \file trace.hpp
@@ -150,11 +151,16 @@ class TraceSink {
   void term_wave(double t, std::uint64_t wave);
 
   // -- counters / introspection ------------------------------------------
-  /// Lightweight per-processor counters and histograms, updated alongside
-  /// every recorded event (and directly by layers that track distributions
-  /// the event stream does not carry, e.g. scheduler queue depth).
-  [[nodiscard]] ProcCounters& counters() { return counters_; }
-  [[nodiscard]] const ProcCounters& counters() const { return counters_; }
+  /// Lightweight per-processor counters and histograms, updated under the
+  /// sink lock alongside every recorded event. Returns a snapshot copy so
+  /// readers never observe a half-updated histogram.
+  [[nodiscard]] ProcCounters counters() const;
+
+  /// Distribution samples recorded by layers whose data the event stream
+  /// does not carry (the ILB balancer): scheduler queue depth at enqueue and
+  /// objects migrated per balancing round.
+  void sample_queue_depth(double queued_units);
+  void sample_migrations_round(double objects_moved);
 
   [[nodiscard]] ProcId proc() const { return proc_; }
   [[nodiscard]] TraceRecorder& recorder() { return rec_; }
@@ -164,15 +170,16 @@ class TraceSink {
 
  private:
   void push(const TraceEvent& e);
+  void push_locked(const TraceEvent& e) PREMA_REQUIRES(mu_);
 
   TraceRecorder& rec_;
   ProcId proc_;
-  mutable std::mutex mu_;  ///< worker vs polling thread (threaded backend)
-  TraceBuffer buf_;
-  ProcCounters counters_;
+  mutable util::Mutex mu_;  ///< worker vs polling thread (threaded backend)
+  TraceBuffer buf_ PREMA_GUARDED_BY(mu_);
+  ProcCounters counters_ PREMA_GUARDED_BY(mu_);
 
-  bool work_open_ = false;
-  TraceEvent work_{};
+  bool work_open_ PREMA_GUARDED_BY(mu_) = false;
+  TraceEvent work_ PREMA_GUARDED_BY(mu_){};
 };
 
 /// Machine-wide recorder: one TraceSink per processor plus the shared
@@ -200,9 +207,11 @@ class TraceRecorder {
   TraceConfig cfg_;
   std::vector<std::unique_ptr<TraceSink>> sinks_;
 
-  mutable std::mutex intern_mu_;
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, StrId> ids_;
+  mutable util::Mutex intern_mu_;
+  /// deque, not vector: name() hands out string_views into the elements, and
+  /// deque growth never relocates existing strings.
+  std::deque<std::string> strings_ PREMA_GUARDED_BY(intern_mu_);
+  std::unordered_map<std::string, StrId> ids_ PREMA_GUARDED_BY(intern_mu_);
 };
 
 }  // namespace prema::trace

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dmcs/thread_machine.hpp"
+#include "prema/runtime.hpp"
+
+/// \file test_stress_thread.cpp
+/// Concurrency stress for the threaded backend. These tests exist to give
+/// ThreadSanitizer (ctest -L thread on the tsan preset) real contention to
+/// chew on: worker threads sending into each other's inboxes, the preemptive
+/// polling thread dispatching system handlers mid-work-unit, and balancing
+/// policies migrating objects while senders keep messaging them. Sizes are
+/// modest — TSan is ~10x and CI runners are small — but every shared path
+/// (inbox, timers, ledger, MOL directory, scheduler, trace sink) gets hit
+/// from at least two threads.
+
+namespace prema {
+namespace {
+
+using dmcs::HandlerId;
+using dmcs::Message;
+using dmcs::MsgKind;
+using dmcs::Node;
+using util::ByteReader;
+using util::ByteWriter;
+
+class Widget : public mol::MobileObject {
+ public:
+  explicit Widget(std::int64_t h = 0) : hits(h) {}
+  [[nodiscard]] std::uint32_t type_id() const override { return 1; }
+  void serialize(util::ByteWriter& w) const override { w.put<std::int64_t>(hits); }
+  static std::unique_ptr<mol::MobileObject> make(util::ByteReader& r) {
+    return std::make_unique<Widget>(r.get<std::int64_t>());
+  }
+  std::int64_t hits;
+};
+
+Message ttl_msg(HandlerId h, MsgKind kind, std::uint32_t ttl) {
+  ByteWriter w;
+  w.put<std::uint32_t>(ttl);
+  return Message{h, kNoProc, kind, w.take()};
+}
+
+/// App messages become FIFO work units (the same minimal program shape the
+/// DMCS unit tests use).
+class QueueProgram : public dmcs::Program {
+ public:
+  std::function<void(Node&)> on_main;
+
+  void main(Node& n) override {
+    if (on_main) on_main(n);
+  }
+  void deliver_app(Node&, Message&& m) override { queue_.push_back(std::move(m)); }
+  bool service(Node& n) override {
+    if (queue_.empty()) return false;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    n.execute(std::move(m), nullptr);
+    return true;
+  }
+
+ private:
+  std::deque<Message> queue_;
+};
+
+// ---------------------------------------------------------------------------
+// Raw DMCS: app relays on the workers racing system relays on the pollers.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadStress, AppAndSystemRelayStorm) {
+  constexpr int kProcs = 4;
+  constexpr std::uint32_t kTtl = 8;
+  constexpr int kAppSeeds = 10;  ///< per rank
+  constexpr int kSysSeeds = 5;   ///< per rank
+
+  dmcs::ThreadConfig cfg;
+  cfg.nprocs = kProcs;
+  cfg.polling.mode = dmcs::PollingMode::kPreemptive;
+  cfg.polling.interval_s = 1e-3;
+  dmcs::ThreadMachine m(cfg);
+
+  std::atomic<int> app_handled{0};
+  std::atomic<int> sys_handled{0};
+  HandlerId relay = m.registry().add("relay", [&](Node& n, Message&& msg) {
+    ++app_handled;
+    ByteReader r(msg.payload);
+    const auto ttl = r.get<std::uint32_t>();
+    n.compute_seconds(5e-5, util::TimeCategory::kComputation);
+    if (ttl > 0) {
+      n.send((n.rank() + 1) % kProcs, ttl_msg(msg.handler, MsgKind::kApp, ttl - 1));
+    }
+  });
+  HandlerId sys_relay = m.registry().add("sys_relay", [&](Node& n, Message&& msg) {
+    ++sys_handled;
+    ByteReader r(msg.payload);
+    const auto ttl = r.get<std::uint32_t>();
+    if (ttl > 0) {
+      n.send((n.rank() + 2) % kProcs,
+             ttl_msg(msg.handler, MsgKind::kSystem, ttl - 1));
+    }
+  });
+
+  m.run([&](ProcId) {
+    auto prog = std::make_unique<QueueProgram>();
+    prog->on_main = [&, relay, sys_relay](Node& n) {
+      for (int i = 0; i < kAppSeeds; ++i) {
+        n.send((n.rank() + 1) % kProcs, ttl_msg(relay, MsgKind::kApp, kTtl));
+      }
+      for (int i = 0; i < kSysSeeds; ++i) {
+        n.send((n.rank() + 2) % kProcs, ttl_msg(sys_relay, MsgKind::kSystem, kTtl));
+      }
+    };
+    return prog;
+  });
+
+  const int expected_app = kProcs * kAppSeeds * static_cast<int>(kTtl + 1);
+  const int expected_sys = kProcs * kSysSeeds * static_cast<int>(kTtl + 1);
+  EXPECT_EQ(app_handled.load(), expected_app);
+  EXPECT_EQ(sys_handled.load(), expected_sys);
+
+  // Every send was matched by exactly one receive (NodeStats are updated from
+  // both the worker and the polling thread; a lost update shows up here).
+  std::uint64_t sent = 0, received = 0;
+  for (ProcId p = 0; p < kProcs; ++p) {
+    sent += m.node(p).stats().sent;
+    received += m.node(p).stats().received;
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(sent, static_cast<std::uint64_t>(expected_app + expected_sys));
+}
+
+// ---------------------------------------------------------------------------
+// Full stack: work stealing migrates objects while their handlers keep
+// sending them more work, so routes chase forwarding addresses concurrently
+// with migration installs.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadStress, SelfRefillingUnitsSurviveConcurrentStealing) {
+  constexpr int kProcs = 4;
+  constexpr int kObjects = 16;
+  constexpr std::int64_t kRounds = 4;  ///< messages each object processes
+
+  dmcs::ThreadConfig tcfg;
+  tcfg.nprocs = kProcs;
+  tcfg.mflops = 2000.0;
+  tcfg.polling.mode = dmcs::PollingMode::kPreemptive;
+  tcfg.polling.interval_s = 1e-3;
+  dmcs::ThreadMachine machine(tcfg);
+
+  RuntimeConfig rcfg;
+  rcfg.policy = "work_stealing";
+  Runtime rt(machine, rcfg);
+  rt.object_types().add(1, Widget::make);
+
+  auto executed = std::make_shared<std::atomic<std::int64_t>>(0);
+  const auto work = rt.register_object_handler(
+      "work", [executed](Context& ctx, mol::MobileObject& obj, ByteReader&,
+                         const mol::Delivery& d) {
+        auto& widget = static_cast<Widget&>(obj);
+        widget.hits++;
+        ctx.compute(2.0);  // ~1 ms
+        executed->fetch_add(1);
+        // Refill: message the object we are running on. It may migrate away
+        // before the message lands, forcing a forwarded route.
+        if (widget.hits < kRounds) ctx.message(d.target, d.handler, {}, 1.0);
+      });
+
+  rt.set_main([&, work](Context& ctx) {
+    if (ctx.rank() != 0) return;
+    for (int i = 0; i < kObjects; ++i) {
+      auto ptr = ctx.add_object(std::make_unique<Widget>());
+      ctx.message(ptr, work, {}, 1.0);
+    }
+  });
+
+  rt.run();
+  EXPECT_EQ(executed->load(), kObjects * kRounds);
+  EXPECT_TRUE(rt.termination_detected());
+
+  int widgets = 0;
+  std::int64_t hit_sum = 0;
+  for (ProcId p = 0; p < kProcs; ++p) {
+    auto& mol = rt.mol_at(p);
+    for (const auto& ptr : mol.local_ptrs()) {
+      ++widgets;
+      hit_sum += static_cast<Widget*>(mol.find(ptr))->hits;
+    }
+  }
+  EXPECT_EQ(widgets, kObjects);
+  EXPECT_EQ(hit_sum, kObjects * kRounds);
+}
+
+// ---------------------------------------------------------------------------
+// Per-sender FIFO must hold on real threads too, where delivery, stealing and
+// the resequencing buffer race for the node state lock.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadStress, PerSenderOrderHoldsUnderRealThreads) {
+  constexpr int kProcs = 4;
+  constexpr int kObjects = 8;
+  constexpr std::int64_t kMessages = 6;
+
+  dmcs::ThreadConfig tcfg;
+  tcfg.nprocs = kProcs;
+  tcfg.mflops = 2000.0;
+  tcfg.polling.mode = dmcs::PollingMode::kPreemptive;
+  tcfg.polling.interval_s = 1e-3;
+  dmcs::ThreadMachine machine(tcfg);
+
+  RuntimeConfig rcfg;
+  rcfg.policy = "work_stealing";
+  Runtime rt(machine, rcfg);
+  rt.object_types().add(1, Widget::make);
+
+  struct Seen {
+    std::mutex mu;
+    std::map<std::uint32_t, std::vector<std::int64_t>> by_object;
+  };
+  auto seen = std::make_shared<Seen>();
+  const auto work = rt.register_object_handler(
+      "work", [seen](Context& ctx, mol::MobileObject& obj, ByteReader& r,
+                     const mol::Delivery& d) {
+        static_cast<Widget&>(obj).hits++;
+        {
+          std::lock_guard<std::mutex> g(seen->mu);
+          seen->by_object[d.target.index].push_back(r.get<std::int64_t>());
+        }
+        ctx.compute(1.0);
+      });
+
+  rt.set_main([&, work](Context& ctx) {
+    if (ctx.rank() != 0) return;
+    std::vector<mol::MobilePtr> ptrs;
+    for (int i = 0; i < kObjects; ++i) {
+      ptrs.push_back(ctx.add_object(std::make_unique<Widget>()));
+    }
+    for (std::int64_t k = 0; k < kMessages; ++k) {
+      for (auto& ptr : ptrs) {
+        ByteWriter w;
+        w.put<std::int64_t>(k);
+        ctx.message(ptr, work, w.take(), 1.0);
+      }
+    }
+  });
+
+  rt.run();
+  std::lock_guard<std::mutex> g(seen->mu);
+  ASSERT_EQ(seen->by_object.size(), static_cast<std::size_t>(kObjects));
+  for (const auto& [idx, values] : seen->by_object) {
+    ASSERT_EQ(values.size(), static_cast<std::size_t>(kMessages))
+        << "object " << idx;
+    for (std::int64_t k = 0; k < kMessages; ++k) {
+      EXPECT_EQ(values[static_cast<std::size_t>(k)], k) << "object " << idx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prema
