@@ -1,19 +1,25 @@
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_support/synthetic.hpp"
+#include "fault/fault_plan.hpp"
 
 /// \file figure_main.hpp
 /// Shared driver for the Figure 3-6 reproduction binaries: runs all six
 /// panels of one benchmark configuration and prints the per-panel breakdowns
 /// plus the comparison table.
 ///
-/// Flags: --trace-out=<file>  export a Chrome/Perfetto trace per panel
-///                            (file gets a "-a".."-f" suffix per system).
+/// Flags: --trace-out=<file>       export a Chrome/Perfetto trace per panel
+///                                 (file gets a "-a".."-f" suffix per system).
+///        --fault-profile=<name>   run under a canned fault-injection profile
+///                                 (none | lossy1pct | burst-reorder |
+///                                 one-slow-node, see EXPERIMENTS.md).
+///        --fault-seed=<n>         seed the fault plan's RNG streams.
 
 namespace prema::bench {
 
@@ -27,9 +33,21 @@ inline int run_figure(int argc, char** argv, const char* title,
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       cfg.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--fault-profile=", 16) == 0) {
+      cfg.fault_profile = arg + 16;
+      if (!fault::is_fault_profile(cfg.fault_profile)) {
+        std::cerr << "unknown fault profile: " << cfg.fault_profile
+                  << " (expected none | lossy1pct | burst-reorder | "
+                     "one-slow-node)\n";
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+      cfg.fault_seed = std::strtoull(arg + 13, nullptr, 10);
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
-                << "usage: " << argv[0] << " [--trace-out=<file>]\n";
+                << "usage: " << argv[0]
+                << " [--trace-out=<file>] [--fault-profile=<name>]"
+                   " [--fault-seed=<n>]\n";
       return 2;
     }
   }
@@ -39,8 +57,12 @@ inline int run_figure(int argc, char** argv, const char* title,
             << "  128 procs x 864 units, heavy fraction "
             << heavy_fraction * 100 << "%, heavy " << heavy_mflop
             << " Mflop vs light " << cfg.light_mflop << " Mflop\n"
-            << "  paper's reported makespans: " << paper_values << "\n"
-            << "==========================================================\n";
+            << "  paper's reported makespans: " << paper_values << "\n";
+  if (cfg.fault_profile != "none") {
+    std::cout << "  fault profile: " << cfg.fault_profile << " (seed "
+              << cfg.fault_seed << ") — reliable transport on\n";
+  }
+  std::cout << "==========================================================\n";
 
   std::vector<RunReport> reports;
   for (const System sys :

@@ -16,11 +16,19 @@
 // message processing.
 //
 // Run:  ./quickstart [--trace-out=trace.json]
+//                    [--fault-profile=<name>] [--fault-seed=<n>]
 //
 // With --trace-out the run records an event trace and writes Chrome
 // trace-event JSON you can open at https://ui.perfetto.dev, plus a text
 // summary of the recorded counters on stdout.
+//
+// With --fault-profile the emulated network injects faults (message drops,
+// duplication, reordering, latency spikes, payload corruption, node
+// slowdowns — profiles: lossy1pct | burst-reorder | one-slow-node) and the
+// runtime's reliable transport masks them: the traversal still visits every
+// node exactly once and termination detection still fires.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "dmcs/sim_machine.hpp"
+#include "fault/fault_plan.hpp"
 #include "prema/runtime.hpp"
 #include "trace/export.hpp"
 
@@ -68,11 +77,24 @@ class TreeNode : public mol::MobileObject {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string fault_profile = "none";
+  std::uint64_t fault_seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--fault-profile=", 16) == 0) {
+      fault_profile = argv[i] + 16;
+      if (!fault::is_fault_profile(fault_profile)) {
+        std::fprintf(stderr, "unknown fault profile: %s\n", fault_profile.c_str());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      fault_seed = std::strtoull(argv[i] + 13, nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out=<file>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out=<file>] [--fault-profile=<name>]"
+                   " [--fault-seed=<n>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -84,6 +106,13 @@ int main(int argc, char** argv) {
   dmcs::PollingConfig pcfg;
   pcfg.mode = dmcs::PollingMode::kPreemptive;
   dmcs::SimMachine machine(mcfg, pcfg);
+  if (fault_profile != "none") {
+    machine.set_fault_plan(std::make_shared<fault::FaultPlan>(
+        fault::make_fault_profile(fault_profile), fault_seed, mcfg.nprocs));
+    std::printf("quickstart: fault profile %s (seed %llu), reliable transport on\n",
+                fault_profile.c_str(),
+                static_cast<unsigned long long>(fault_seed));
+  }
 
   RuntimeConfig rcfg;
   rcfg.policy = "work_stealing";

@@ -6,6 +6,7 @@
 #include "bench_support/stop_repartition.hpp"
 #include "charm/charmlite.hpp"
 #include "dmcs/sim_machine.hpp"
+#include "fault/fault_plan.hpp"
 #include "ilb/policies/work_stealing.hpp"
 #include "prema/runtime.hpp"
 #include "support/stats.hpp"
@@ -91,6 +92,14 @@ class WorkChare : public charmlite::Chare {
   std::vector<std::uint8_t> blob_;
 };
 
+/// Install the configured fault plan (if any) on `machine`. Must run before
+/// Machine::run so the backends create their reliable links at startup.
+void maybe_install_fault_plan(dmcs::Machine& machine, const SyntheticConfig& cfg) {
+  if (cfg.fault_profile.empty() || cfg.fault_profile == "none") return;
+  machine.set_fault_plan(std::make_shared<fault::FaultPlan>(
+      fault::make_fault_profile(cfg.fault_profile), cfg.fault_seed, cfg.nprocs));
+}
+
 /// Attach a trace recorder to `machine` if the config asks for one. Works for
 /// all three runtimes because the hooks live at the Node/Machine layer.
 void maybe_enable_trace(dmcs::Machine& machine, const SyntheticConfig& cfg) {
@@ -145,6 +154,7 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
                                             : dmcs::PollingMode::kExplicit;
   pcfg.interval_s = cfg.poll_interval_s;
   dmcs::SimMachine machine(mcfg, pcfg);
+  maybe_install_fault_plan(machine, cfg);
 
   RuntimeConfig rcfg;
   rcfg.trace.enabled = !cfg.trace_out.empty();
@@ -189,9 +199,24 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
   rep.label = system_name(sys);
   rep.makespan = rt.run();
   rep.executed = executed;
+  std::size_t resident = 0;
+  std::size_t in_transit = 0;
   for (ProcId p = 0; p < cfg.nprocs; ++p) {
     rep.ledgers.push_back(machine.ledger(p));
     rep.migrations += rt.mol_at(p).stats().migrations_in;
+    resident += rt.mol_at(p).local_count();
+    in_transit += rt.mol_at(p).in_transit_count();
+  }
+  if (machine.fault_plan() != nullptr) {
+    // Delivery-ledger checks: under any fault plan the run must still execute
+    // every unit exactly once and end with every mobile object resident at
+    // exactly one processor and no migration handoff left open.
+    PREMA_CHECK_MSG(executed == total,
+                    "delivery ledger: units executed != units created");
+    PREMA_CHECK_MSG(resident == static_cast<std::size_t>(total),
+                    "delivery ledger: mobile objects lost or cloned");
+    PREMA_CHECK_MSG(in_transit == 0,
+                    "delivery ledger: migration handoffs left open");
   }
   finalize(rep, cfg);
   maybe_export_trace(machine, cfg, rep);
@@ -204,6 +229,7 @@ RunReport run_srp(const SyntheticConfig& cfg) {
   mcfg.mflops = cfg.proc_mflops;
   mcfg.seed = cfg.seed;
   dmcs::SimMachine machine(mcfg);  // explicit polling
+  maybe_install_fault_plan(machine, cfg);
   maybe_enable_trace(machine, cfg);
 
   srp::SrpConfig scfg;
@@ -259,6 +285,7 @@ RunReport run_charm(System sys, const SyntheticConfig& cfg) {
   mcfg.mflops = cfg.proc_mflops;
   mcfg.seed = cfg.seed;
   dmcs::SimMachine machine(mcfg);  // Charm never preempts entries
+  maybe_install_fault_plan(machine, cfg);
   maybe_enable_trace(machine, cfg);
 
   charmlite::CharmConfig ccfg;

@@ -70,6 +70,14 @@ struct SyntheticConfig {
   /// trace-event JSON to a per-panel file derived from this base path (see
   /// trace_output_path). Empty = tracing off, zero overhead.
   std::string trace_out;
+  /// Canned fault-injection profile ("none" | "lossy1pct" | "burst-reorder" |
+  /// "one-slow-node", see src/fault/fault_plan.hpp and EXPERIMENTS.md).
+  /// Anything but "none" turns on the reliable transport and, after the run,
+  /// the delivery-ledger checks (exactly-once execution, no lost or cloned
+  /// mobile objects, no open migration handoffs).
+  std::string fault_profile = "none";
+  /// Seed for the fault plan's per-link RNG streams (independent of `seed`).
+  std::uint64_t fault_seed = 7;
 };
 
 struct RunReport {

@@ -2,8 +2,10 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 
 #include "dmcs/node.hpp"
+#include "fault/fault_plan.hpp"
 #include "trace/trace.hpp"
 
 /// \file machine.hpp
@@ -52,8 +54,28 @@ class Machine {
   /// The attached recorder, or nullptr when tracing was never enabled.
   [[nodiscard]] trace::TraceRecorder* tracer() const { return tracer_.get(); }
 
+  /// Install a fault plan (call before run()). An active plan switches both
+  /// backends into reliable-transport mode: messages are stamped with
+  /// sequence numbers and checksums, acked, retransmitted, deduplicated and
+  /// resequenced (dmcs/reliable.hpp), and the wire consults the plan for
+  /// every transmission. A null or inactive plan ("none" profile) leaves the
+  /// legacy loss-free path byte-identical to a machine with no plan at all.
+  void set_fault_plan(std::shared_ptr<fault::FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+
+  /// The active fault plan, or nullptr when the machine runs fault-free
+  /// (inactive plans read as nullptr so the wire never consults them).
+  [[nodiscard]] fault::FaultPlan* fault_plan() const {
+    return fault_plan_ && fault_plan_->active() ? fault_plan_.get() : nullptr;
+  }
+
+  /// True when the reliable-delivery protocol is engaged.
+  [[nodiscard]] bool reliable() const { return fault_plan() != nullptr; }
+
  private:
   std::unique_ptr<trace::TraceRecorder> tracer_;
+  std::shared_ptr<fault::FaultPlan> fault_plan_;
 };
 
 }  // namespace prema::dmcs

@@ -35,6 +35,21 @@ struct Message {
   /// and is excluded from the message counts quiescence detection observes.
   bool internal = false;
 
+  // -- reliability envelope (dmcs/reliable.hpp) -----------------------------
+  // Populated only when the machine runs with an active fault plan; with no
+  // plan installed every field keeps its default and the transport takes the
+  // exact legacy path. Modeled as out-of-band header state (the wire cost of
+  // the envelope is covered by NetworkModel::header_bytes), so size_bytes()
+  // is unchanged.
+  std::uint32_t seq = 0;       ///< per-(sender,receiver) sequence number
+  std::uint32_t ack = 0;       ///< cumulative ack: peer accepted all seq < ack
+  std::uint64_t checksum = 0;  ///< FNV-1a over handler/kind/payload
+  std::uint8_t rflags = 0;     ///< kReliable / kBareAck / kRetransmit
+
+  static constexpr std::uint8_t kReliable = 1;    ///< tracked by seq/ack/retransmit
+  static constexpr std::uint8_t kBareAck = 2;     ///< carries only an ack; never delivered
+  static constexpr std::uint8_t kRetransmit = 4;  ///< a retransmitted copy
+
   [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
 };
 

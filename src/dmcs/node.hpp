@@ -117,6 +117,25 @@ class Node {
   /// machine uses it for gap accounting; the threaded machine ignores it.
   virtual void set_wait_category(util::TimeCategory) {}
 
+  /// True when the machine runs the reliable-delivery protocol (an active
+  /// fault plan is installed — see Machine::set_fault_plan). Layers above
+  /// gate their own hardening on this: MOL switches migration to the
+  /// two-phase offer/commit handoff.
+  [[nodiscard]] virtual bool reliable_transport() const { return false; }
+
+  /// True when this node's reliable transport has nothing in flight: no
+  /// unacked sends, no out-of-order arrivals held back. Always true on a
+  /// fault-free machine. Termination detection treats a non-quiet transport
+  /// as in-flight work (an acked-but-unreleased message must keep the
+  /// machine alive until it reaches an inbox).
+  [[nodiscard]] virtual bool transport_quiet() const { return true; }
+
+  /// Health view of a peer, consumed by balancing policies: true when the
+  /// fault plan marks `p` as degraded (slowed / pausing) or when this node's
+  /// link to `p` is currently retransmitting. Always false on a fault-free
+  /// machine.
+  [[nodiscard]] virtual bool peer_degraded(ProcId) const { return false; }
+
   /// Run `msg`'s handler right now in the caller's context.
   void dispatch(Message&& msg);
 

@@ -30,7 +30,24 @@ const PollingConfig& SimNode::polling() const { return machine_.polling(); }
 
 HandlerRegistry& SimNode::registry() { return machine_.registry(); }
 
-void SimNode::start(Program* program) { program_ = program; }
+void SimNode::start(Program* program) {
+  program_ = program;
+  if (machine_.reliable()) {
+    rlink_ = std::make_unique<ReliableLink>(rank_, nprocs_);
+  }
+}
+
+bool SimNode::reliable_transport() const { return machine_.reliable(); }
+
+bool SimNode::transport_quiet() const { return !rlink_ || rlink_->quiet(); }
+
+bool SimNode::peer_degraded(ProcId p) const {
+  if (p == rank_) return false;
+  auto* plan = machine_.fault_plan();
+  if (plan == nullptr) return false;
+  if (plan->node_degraded(p)) return true;
+  return rlink_ != nullptr && rlink_->peer_lossy(p);
+}
 
 void SimNode::send(ProcId dst, Message msg) {
   PREMA_CHECK_MSG(dst >= 0 && dst < nprocs_, "send to invalid rank");
@@ -47,20 +64,149 @@ void SimNode::send(ProcId dst, Message msg) {
 void SimNode::do_send(ProcId dst, Message&& msg) {
   const auto& net = machine_.config().net;
   proc_.advance(TimeCategory::kMessaging, net.send_cpu(msg.size_bytes()));
-  ++stats_.sent;
+  ++stats_.sent;  // logical sends only: retransmits and acks never re-count
   if (trace_) {
     trace_->message_send(proc_.clock(), dst, msg.size_bytes(),
                          msg.kind == MsgKind::kSystem);
   }
-  const double transfer = dst == rank_ ? 1e-9 : net.transfer_time(msg.size_bytes());
-  sim::SimTime arrival = proc_.clock() + transfer;
-  auto& chan = channel_clock_[static_cast<std::size_t>(dst)];
-  arrival = std::max(arrival, chan + 1e-12);
-  chan = arrival;
+  if (rlink_ != nullptr && dst != rank_) {
+    rlink_->stamp(dst, msg, proc_.clock());
+    wire_send(dst, std::move(msg));
+    schedule_retransmit();
+    return;
+  }
+  wire_send(dst, std::move(msg));
+}
+
+void SimNode::wire_send(ProcId dst, Message&& msg) {
+  const auto& net = machine_.config().net;
   SimNode& target = machine_.sim_node(dst);
-  eng_.at(arrival, [&target, m = std::move(msg)]() mutable {
-    target.on_arrival(std::move(m));
-  });
+  const double transfer = dst == rank_ ? 1e-9 : net.transfer_time(msg.size_bytes());
+  auto* plan = machine_.fault_plan();
+  if (plan == nullptr || dst == rank_) {
+    // Legacy delivery; arithmetic and event order are byte-identical to the
+    // pre-fault-injection backend when no plan is installed.
+    sim::SimTime arrival = proc_.clock() + transfer;
+    auto& chan = channel_clock_[static_cast<std::size_t>(dst)];
+    arrival = std::max(arrival, chan + 1e-12);
+    chan = arrival;
+    eng_.at(arrival, [&target, m = std::move(msg)]() mutable {
+      target.on_wire(std::move(m));
+    });
+    return;
+  }
+
+  // Retransmits fire at engine time, which may be ahead of this processor's
+  // charged clock; never schedule an arrival in the past.
+  const sim::SimTime base = std::max(proc_.clock(), eng_.now());
+  const auto fate = plan->on_send(rank_, dst);
+  const std::size_t bytes = msg.size_bytes();
+  if (fate.copies == 0) {
+    if (trace_) trace_->fault(base, dst, trace::FaultType::kDrop, bytes);
+    if (rlink_ != nullptr && (msg.rflags & Message::kReliable) != 0) {
+      // The copy died on the wire, but the timeout should still run from
+      // when it would have arrived, not from the (possibly much earlier)
+      // stamp time — otherwise a backed-up link retransmits before the
+      // first copy could ever have been acked.
+      rlink_->note_wire_time(dst, msg.seq, base + transfer);
+    }
+    return;
+  }
+  if (trace_) {
+    if (fate.copies > 1) trace_->fault(base, dst, trace::FaultType::kDuplicate, bytes);
+    if (fate.corrupt) trace_->fault(base, dst, trace::FaultType::kCorrupt, bytes);
+    if (fate.extra_delay_s > 0.0) trace_->fault(base, dst, trace::FaultType::kDelay, bytes);
+    if (fate.reorder) trace_->fault(base, dst, trace::FaultType::kReorder, bytes);
+  }
+  for (int i = 0; i < fate.copies; ++i) {
+    Message m = (i + 1 == fate.copies) ? std::move(msg) : msg;
+    if (fate.corrupt && (m.rflags & Message::kReliable) != 0) {
+      // Model in-flight payload truncation; the receiver's checksum test
+      // catches it and the copy is discarded (no ack -> retransmit recovers).
+      if (!m.payload.empty()) {
+        m.payload.resize(m.payload.size() / 2);
+      } else {
+        m.checksum ^= 0x1;
+      }
+    }
+    sim::SimTime arrival = base + transfer + fate.extra_delay_s;
+    if (fate.reorder) {
+      // Reordered copies bypass the FIFO channel clamp: each lands at an
+      // independently jittered point inside the reorder window.
+      arrival = plan->release_time(dst, arrival + fate.reorder_jitter_s[i & 1]);
+    } else {
+      arrival = plan->release_time(dst, arrival);
+      auto& chan = channel_clock_[static_cast<std::size_t>(dst)];
+      arrival = std::max(arrival, chan + 1e-12);
+      chan = arrival;
+    }
+    if (rlink_ != nullptr && (m.rflags & Message::kReliable) != 0) {
+      // Start the retransmit clock from the copy's actual wire arrival:
+      // under a burst the per-link FIFO can hold a message for far longer
+      // than the RTO, and timing out while it is still queued just injects
+      // redundant copies behind it.
+      rlink_->note_wire_time(dst, m.seq, arrival);
+    }
+    eng_.at(arrival, [&target, m2 = std::move(m)]() mutable {
+      target.on_wire(std::move(m2));
+    });
+  }
+}
+
+void SimNode::on_wire(Message&& msg) {
+  if (rlink_ == nullptr || msg.internal) {
+    on_arrival(std::move(msg));
+    return;
+  }
+  if ((msg.rflags & (Message::kReliable | Message::kBareAck)) != 0) {
+    rlink_->on_ack(msg.src, msg.ack);
+  }
+  if ((msg.rflags & Message::kBareAck) != 0) return;
+  if ((msg.rflags & Message::kReliable) == 0) {
+    on_arrival(std::move(msg));  // self-sends are never stamped
+    return;
+  }
+  const ProcId peer = msg.src;
+  auto res = rlink_->accept(std::move(msg));
+  if (trace_) {
+    const double t = eng_.now();
+    if (res.corrupt) trace_->fault(t, peer, trace::FaultType::kCorruptDropped, 0);
+    if (res.duplicate) trace_->fault(t, peer, trace::FaultType::kDupDropped, 0);
+  }
+  if (!res.corrupt) send_bare_ack(peer, res.ack_value);
+  for (auto& m : res.deliver) on_arrival(std::move(m));
+}
+
+void SimNode::send_bare_ack(ProcId to, std::uint32_t cumulative) {
+  Message a;
+  a.src = rank_;
+  a.kind = MsgKind::kSystem;
+  a.rflags = Message::kBareAck;
+  a.ack = cumulative;
+  if (trace_) trace_->ack(eng_.now(), to, cumulative);
+  // Acks are transport-internal: no stats, no CPU charge, not retransmitted.
+  wire_send(to, std::move(a));
+}
+
+void SimNode::schedule_retransmit() {
+  if (rlink_ == nullptr) return;
+  const double d = rlink_->next_deadline();
+  if (d >= retx_at_) return;  // an earlier (or equal) wakeup is already armed
+  if (retx_event_ != sim::kNoEvent) eng_.cancel(retx_event_);
+  retx_at_ = d;
+  retx_event_ = eng_.at(std::max(d, eng_.now()), [this] { on_retransmit_timer(); });
+}
+
+void SimNode::on_retransmit_timer() {
+  retx_event_ = sim::kNoEvent;
+  retx_at_ = std::numeric_limits<double>::infinity();
+  if (rlink_ == nullptr) return;
+  auto due = rlink_->due_retransmits(eng_.now());
+  for (auto& r : due) {
+    if (trace_) trace_->retransmit(eng_.now(), r.dst, r.msg.seq);
+    wire_send(r.dst, std::move(r.msg));
+  }
+  schedule_retransmit();
 }
 
 void SimNode::send_self_after(double delay_s, Message msg) {
@@ -94,6 +240,12 @@ void SimNode::compute(double mflop, TimeCategory cat) {
 
 void SimNode::compute_seconds(double seconds, TimeCategory cat) {
   PREMA_CHECK_MSG(seconds >= 0.0, "negative compute cost");
+  // Degraded-node emulation: a slowdown factor stretches every charged
+  // compute interval (scaled before capture so deferred activities stretch
+  // too). Identity when no fault plan is installed.
+  if (auto* plan = machine_.fault_plan()) {
+    seconds *= plan->compute_factor(rank_);
+  }
   if (capturing_) {
     captured_s_ += seconds;
     return;

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "dmcs/machine.hpp"
+#include "dmcs/reliable.hpp"
 #include "sim/engine.hpp"
 
 /// \file sim_machine.hpp
@@ -61,6 +63,10 @@ class SimNode final : public Node {
   void set_wait_category(util::TimeCategory cat) override { wait_cat_ = cat; }
   [[nodiscard]] util::TimeCategory wait_category() const { return wait_cat_; }
 
+  [[nodiscard]] bool reliable_transport() const override;
+  [[nodiscard]] bool transport_quiet() const override;
+  [[nodiscard]] bool peer_degraded(ProcId p) const override;
+
   /// Local clock: the virtual time through which this processor's timeline
   /// has been charged (>= engine now while busy).
   [[nodiscard]] sim::SimTime clock() const;
@@ -74,6 +80,18 @@ class SimNode final : public Node {
   void do_service(sim::SimTime t);
   void drain_inbox();
   void do_send(ProcId dst, Message&& msg);
+  /// Put one already-stamped message on the wire: model transfer time,
+  /// consult the fault plan (drop/dup/delay/reorder/corrupt/pause) and
+  /// schedule arrival(s) at the destination's on_wire. With no plan this is
+  /// the exact legacy FIFO-channel delivery.
+  void wire_send(ProcId dst, Message&& msg);
+  /// Wire-level arrival: runs the reliable transport (ack processing, dedup,
+  /// resequencing) and releases in-order messages to on_arrival. With no
+  /// reliable link it forwards straight to on_arrival.
+  void on_wire(Message&& msg);
+  void send_bare_ack(ProcId to, std::uint32_t cumulative);
+  void schedule_retransmit();
+  void on_retransmit_timer();
   void flush_deferred_sends();
   void schedule_interrupt(sim::SimTime arrival);
   void on_interrupt(std::uint64_t gen);
@@ -107,6 +125,14 @@ class SimNode final : public Node {
 
   // Pending send_self_after timer events (cancellable).
   std::unordered_set<sim::EventId> timer_events_;
+
+  // Reliable transport (created in start() when a fault plan is active).
+  // The retransmit event is deliberately *not* in timer_events_: termination
+  // detection cancels application timers, but unacked messages must keep
+  // retransmitting until their acks land.
+  std::unique_ptr<ReliableLink> rlink_;
+  sim::EventId retx_event_ = sim::kNoEvent;
+  double retx_at_ = std::numeric_limits<double>::infinity();
 
   // Per-destination channel clock enforcing FIFO delivery (TCP-like): a small
   // message sent after a large one on the same (src,dst) pair must not

@@ -46,13 +46,104 @@ void ThreadNode::charge(TimeCategory cat, double seconds) {
 void ThreadNode::send(ProcId dst, Message msg) {
   PREMA_CHECK_MSG(dst >= 0 && dst < nprocs_, "send to invalid rank");
   msg.src = rank_;
-  ++stats_.sent;
+  ++stats_.sent;  // logical sends only: retransmits and acks never re-count
   if (trace_) {
     trace_->message_send(now(), dst, msg.size_bytes(),
                          msg.kind == MsgKind::kSystem);
   }
+  if (rlink_ != nullptr && dst != rank_) {
+    // In-flight accounting moves to the receiver: transport_accept bumps the
+    // counter per message actually released to an inbox. Until the ack lands
+    // the sender's link is non-quiet, which quiescent() also checks.
+    rlink_->stamp(dst, msg, now());
+    wire_send(dst, std::move(msg));
+    return;
+  }
   machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
   static_cast<ThreadNode&>(machine_.node(dst)).enqueue(std::move(msg));
+}
+
+bool ThreadNode::peer_degraded(ProcId p) const {
+  if (p == rank_) return false;
+  auto* plan = machine_.fault_plan();
+  if (plan == nullptr) return false;
+  if (plan->node_degraded(p)) return true;
+  return rlink_ != nullptr && rlink_->peer_lossy(p);
+}
+
+void ThreadNode::wire_send(ProcId dst, Message&& msg) {
+  auto& target = static_cast<ThreadNode&>(machine_.node(dst));
+  auto* plan = machine_.fault_plan();
+  if (plan == nullptr) {  // defensive: rlink_ implies an active plan
+    target.transport_accept(std::move(msg));
+    return;
+  }
+  const auto fate = plan->on_send(rank_, dst);
+  const std::size_t bytes = msg.size_bytes();
+  if (fate.copies == 0) {
+    if (trace_) trace_->fault(now(), dst, trace::FaultType::kDrop, bytes);
+    return;
+  }
+  // Delay/reorder knobs are sim-only; real thread scheduling already
+  // reorders freely. Drop, duplication, and corruption apply here.
+  if (trace_) {
+    if (fate.copies > 1) trace_->fault(now(), dst, trace::FaultType::kDuplicate, bytes);
+    if (fate.corrupt) trace_->fault(now(), dst, trace::FaultType::kCorrupt, bytes);
+  }
+  for (int i = 0; i < fate.copies; ++i) {
+    Message m = (i + 1 == fate.copies) ? std::move(msg) : msg;
+    if (fate.corrupt && (m.rflags & Message::kReliable) != 0) {
+      if (!m.payload.empty()) {
+        m.payload.resize(m.payload.size() / 2);
+      } else {
+        m.checksum ^= 0x1;
+      }
+    }
+    target.transport_accept(std::move(m));
+  }
+}
+
+void ThreadNode::transport_accept(Message&& msg) {
+  const ProcId peer = msg.src;
+  if ((msg.rflags & (Message::kReliable | Message::kBareAck)) != 0) {
+    rlink_->on_ack(peer, msg.ack);
+  }
+  if ((msg.rflags & Message::kBareAck) != 0) return;
+  if ((msg.rflags & Message::kReliable) == 0) {
+    machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
+    enqueue(std::move(msg));
+    return;
+  }
+  auto res = rlink_->accept(std::move(msg));
+  if (trace_) {
+    if (res.corrupt) trace_->fault(now(), peer, trace::FaultType::kCorruptDropped, 0);
+    if (res.duplicate) trace_->fault(now(), peer, trace::FaultType::kDupDropped, 0);
+  }
+  // Release before acking: once the sender sees this ack its link goes
+  // quiet, so every message the ack covers must already be counted
+  // in-flight or the quiescence detector could fire early.
+  for (auto& m : res.deliver) {
+    machine_.inflight_.fetch_add(1, std::memory_order_acq_rel);
+    enqueue(std::move(m));
+  }
+  if (!res.corrupt) {
+    Message a;
+    a.src = rank_;
+    a.kind = MsgKind::kSystem;
+    a.rflags = Message::kBareAck;
+    a.ack = res.ack_value;
+    if (trace_) trace_->ack(now(), peer, res.ack_value);
+    wire_send(peer, std::move(a));
+  }
+}
+
+void ThreadNode::drain_retransmits() {
+  if (rlink_ == nullptr) return;
+  auto due = rlink_->due_retransmits(now());
+  for (auto& r : due) {
+    if (trace_) trace_->retransmit(now(), r.dst, r.msg.seq);
+    wire_send(r.dst, std::move(r.msg));
+  }
 }
 
 void ThreadNode::send_self_after(double delay_s, Message msg) {
@@ -103,6 +194,10 @@ void ThreadNode::compute(double mflop, TimeCategory cat) {
 
 void ThreadNode::compute_seconds(double seconds, TimeCategory cat) {
   PREMA_CHECK_MSG(seconds >= 0.0, "negative compute cost");
+  // Degraded-node emulation: stretch compute by the plan's slowdown factor.
+  if (auto* plan = machine_.fault_plan()) {
+    seconds *= plan->compute_factor(rank_);
+  }
   const double t0 = now();
   spin_for(seconds);
   charge(cat, seconds);
@@ -161,6 +256,7 @@ void ThreadNode::worker_loop() {
   program_->main(*this);
   while (!machine_.done_.load(std::memory_order_acquire)) {
     drain_due_timers();
+    drain_retransmits();
     const auto t0 = Clock::now();
     const int handled = drain(/*system_only=*/false);
     if (handled > 0) {
@@ -192,6 +288,7 @@ void ThreadNode::poller_loop() {
   const auto period = std::chrono::duration<double>(polling().interval_s);
   while (!machine_.done_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(period);
+    drain_retransmits();
     const auto t0 = Clock::now();
     const int handled = drain(/*system_only=*/true);
     if (handled > 0) {
@@ -231,6 +328,9 @@ bool ThreadMachine::quiescent() const {
   if (inflight_.load(std::memory_order_acquire) != 0) return false;
   for (const auto& n : nodes_) {
     if (!n->idle_.load(std::memory_order_acquire)) return false;
+    // A non-quiet link means an unacked (possibly dropped) message still
+    // needs retransmitting, or a resequencing buffer holds data.
+    if (n->rlink_ != nullptr && !n->rlink_->quiet()) return false;
   }
   // Check in-flight again: a message sent while we scanned the idle flags
   // would have bumped the counter before waking its target.
@@ -246,6 +346,10 @@ double ThreadMachine::run(const ProgramFactory& factory) {
   for (ProcId p = 0; p < nprocs(); ++p) {
     programs_.push_back(factory(p));
     nodes_[static_cast<std::size_t>(p)]->program_ = programs_.back().get();
+    if (reliable()) {
+      nodes_[static_cast<std::size_t>(p)]->rlink_ =
+          std::make_unique<ReliableLink>(p, nprocs());
+    }
   }
   for (auto& n : nodes_) {
     n->worker_ = std::thread([node = n.get()] { node->worker_loop(); });

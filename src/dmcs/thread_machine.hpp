@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dmcs/machine.hpp"
+#include "dmcs/reliable.hpp"
 #include "support/thread_annotations.hpp"
 
 /// \file thread_machine.hpp
@@ -71,10 +72,26 @@ class ThreadNode final : public Node {
     return inbox_.size();
   }
 
+  [[nodiscard]] bool reliable_transport() const override { return rlink_ != nullptr; }
+  [[nodiscard]] bool transport_quiet() const override {
+    return rlink_ == nullptr || rlink_->quiet();
+  }
+  [[nodiscard]] bool peer_degraded(ProcId p) const override;
+
  private:
   friend class ThreadMachine;
 
   void enqueue(Message&& msg);
+  /// Put an already-stamped message on the wire: consult the fault plan
+  /// (drop/dup/corrupt; delay/reorder are sim-only — real threads provide
+  /// natural reordering) and hand surviving copies to the destination's
+  /// transport_accept. Runs in the *sending* node's thread.
+  void wire_send(ProcId dst, Message&& msg);
+  /// Wire-level arrival on this node (called from the sender's thread): runs
+  /// the reliable transport (ack processing, dedup, resequencing), bumps the
+  /// in-flight counter for each released message, enqueues it, then acks.
+  void transport_accept(Message&& msg);
+  void drain_retransmits();
   void worker_loop();
   void poller_loop();
   /// Drain due messages; if `system_only`, leave application messages queued.
@@ -106,6 +123,10 @@ class ThreadNode final : public Node {
   void drain_due_timers();
 
   Program* program_ = nullptr;  ///< installed before the threads start
+  /// Reliable transport; created in run() before the threads start when a
+  /// fault plan is installed, null otherwise. Internally mutex-guarded, so
+  /// the worker, the poller, and sending peers may all touch it.
+  std::unique_ptr<ReliableLink> rlink_;
   std::atomic<bool> executing_{false};
   std::atomic<bool> idle_{false};
 

@@ -84,6 +84,9 @@ class Balancer final : public PolicyContext {
                    std::vector<std::uint8_t> body) override;
   void charge_seconds(double seconds) override;
   void request_poll_after(double seconds) override;
+  [[nodiscard]] bool peer_degraded(ProcId p) const override {
+    return node_.peer_degraded(p);
+  }
 
  private:
   dmcs::Node& node_;

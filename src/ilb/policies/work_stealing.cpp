@@ -31,6 +31,20 @@ void WorkStealingPolicy::maybe_request(PolicyContext& ctx) {
   if (partner_ == kNoProc) return;
   if (passive_ || outstanding_) return;
   if (ctx.local_load() >= ctx.low_watermark()) return;
+  if (ctx.peer_degraded(partner_)) {
+    // Degraded partner: rotate to the next healthy rank instead of begging a
+    // slowed/pausing node. If every peer is degraded, keep the current one —
+    // a slow grant still beats starving.
+    const int n = ctx.nprocs();
+    for (int i = 1; i < n; ++i) {
+      const auto cand = static_cast<ProcId>((partner_ + i) % n);
+      if (cand == ctx.rank()) continue;
+      if (!ctx.peer_degraded(cand)) {
+        partner_ = cand;
+        break;
+      }
+    }
+  }
   ByteWriter w;
   w.put<double>(ctx.local_load());
   ctx.send_policy(partner_, kRequest, w.take());
@@ -46,6 +60,12 @@ void WorkStealingPolicy::handle_request(PolicyContext& ctx, ProcId from,
     ++stats_.denials;
   };
   if (mine <= ctx.donate_threshold() || mine <= their_load) {
+    deny();
+    return;
+  }
+  if (ctx.peer_degraded(from)) {
+    // Never donate into a degraded node: its pause/slowdown would strand the
+    // migrated work behind the fault.
     deny();
     return;
   }

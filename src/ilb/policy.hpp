@@ -62,6 +62,12 @@ class PolicyContext {
   /// polling thread's periodic wakeup, used for balancing retries/backoff.
   /// Collapses to a single pending wakeup if called repeatedly.
   virtual void request_poll_after(double seconds) = 0;
+
+  /// Per-node health: true when `p` is currently a poor balancing partner —
+  /// its fault plan marks it slowed/pausing, or this node's reliable link to
+  /// it is retransmitting. Policies should avoid stealing from or donating
+  /// to degraded peers. Always false on a fault-free run.
+  [[nodiscard]] virtual bool peer_degraded(ProcId) const { return false; }
 };
 
 /// A pluggable dynamic load-balancing strategy.

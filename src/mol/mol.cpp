@@ -29,12 +29,15 @@ MobilePtr get_ptr(ByteReader& r) {
 }  // namespace
 
 Mol::Mol(dmcs::Node& node, const ObjectTypeRegistry& types, dmcs::HandlerId route_h,
-         dmcs::HandlerId migrate_h, dmcs::HandlerId update_h)
+         dmcs::HandlerId migrate_h, dmcs::HandlerId update_h,
+         dmcs::HandlerId offer_h, dmcs::HandlerId commit_h)
     : node_(node),
       types_(types),
       route_h_(route_h),
       migrate_h_(migrate_h),
-      update_h_(update_h) {}
+      update_h_(update_h),
+      offer_h_(offer_h),
+      commit_h_(commit_h) {}
 
 MobilePtr Mol::add_object(std::unique_ptr<MobileObject> obj) {
   PREMA_CHECK_MSG(obj != nullptr, "cannot register a null object");
@@ -249,7 +252,69 @@ void Mol::migrate_locked(const MobilePtr& ptr, ProcId dst) {
   cache_.erase(ptr);
   ++stats_.migrations_out;
   if (auto* ts = node_.trace()) ts->migration_out(node_.now(), dst, w.size());
-  node_.send(dst, Message{migrate_h_, node_.rank(), MsgKind::kSystem, w.take()});
+
+  if (!node_.reliable_transport()) {
+    node_.send(dst, Message{migrate_h_, node_.rank(), MsgKind::kSystem, w.take()});
+    return;
+  }
+  // Transactional handoff: wrap the migration image in an *offer* and hold
+  // the (ptr, epoch) open until the receiver's commit comes back. The object
+  // is installed exactly once at the receiver (duplicated offers are absorbed
+  // by its installed-offer ledger), and the open-handoff set here must drain
+  // to empty at quiescence — a dropped offer or commit keeps retransmitting
+  // at the transport layer until it lands.
+  const std::uint64_t epoch = ++migration_epoch_;
+  in_transit_[ptr] = InTransit{dst, epoch};
+  ByteWriter ow;
+  put_ptr(ow, ptr);
+  ow.put<std::uint64_t>(epoch);
+  ow.put_bytes(w.bytes());
+  node_.send(dst, Message{offer_h_, node_.rank(), MsgKind::kSystem, ow.take()});
+}
+
+std::size_t Mol::in_transit_count() const {
+  util::RecursiveLock g(node_.state_mutex());
+  return in_transit_.size();
+}
+
+void Mol::on_offer(Message&& msg) {
+  util::RecursiveLock g(node_.state_mutex());
+  on_offer_locked(std::move(msg));
+}
+
+void Mol::on_offer_locked(Message&& msg) {
+  const ProcId from = msg.src;
+  ByteReader r(msg.payload);
+  const MobilePtr ptr = get_ptr(r);
+  const auto epoch = r.get<std::uint64_t>();
+  if (!installed_offers_.emplace(from, epoch).second) {
+    // Already installed this handoff (duplicated offer): just re-ack.
+    send_commit(from, ptr, epoch);
+    return;
+  }
+  Message inner;
+  inner.handler = migrate_h_;
+  inner.src = from;
+  inner.kind = MsgKind::kSystem;
+  inner.payload = r.get_bytes();
+  on_migrate_locked(std::move(inner));
+  send_commit(from, ptr, epoch);
+}
+
+void Mol::send_commit(ProcId to, const MobilePtr& ptr, std::uint64_t epoch) {
+  ByteWriter w;
+  put_ptr(w, ptr);
+  w.put<std::uint64_t>(epoch);
+  node_.send(to, Message{commit_h_, node_.rank(), MsgKind::kSystem, w.take()});
+}
+
+void Mol::on_commit(Message&& msg) {
+  util::RecursiveLock g(node_.state_mutex());
+  ByteReader r(msg.payload);
+  const MobilePtr ptr = get_ptr(r);
+  const auto epoch = r.get<std::uint64_t>();
+  auto it = in_transit_.find(ptr);
+  if (it != in_transit_.end() && it->second.epoch == epoch) in_transit_.erase(it);
 }
 
 void Mol::on_migrate(Message&& msg) {
@@ -359,10 +424,18 @@ MolLayer::MolLayer(dmcs::Machine& machine) {
   const auto update_h = reg.add("mol.update", [this](dmcs::Node& n, Message&& m) {
     at(n.rank()).on_location_update(std::move(m));
   });
+  // Registered unconditionally (not only under a fault plan) so handler ids
+  // stay identical between reliable and fault-free runs.
+  const auto offer_h = reg.add("mol.offer", [this](dmcs::Node& n, Message&& m) {
+    at(n.rank()).on_offer(std::move(m));
+  });
+  const auto commit_h = reg.add("mol.commit", [this](dmcs::Node& n, Message&& m) {
+    at(n.rank()).on_commit(std::move(m));
+  });
   nodes_.reserve(static_cast<std::size_t>(machine.nprocs()));
   for (ProcId p = 0; p < machine.nprocs(); ++p) {
     nodes_.push_back(std::make_unique<Mol>(machine.node(p), types_, route_h,
-                                           migrate_h, update_h));
+                                           migrate_h, update_h, offer_h, commit_h));
   }
 }
 

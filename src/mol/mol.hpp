@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dmcs/machine.hpp"
@@ -59,7 +61,8 @@ class Mol {
   };
 
   Mol(dmcs::Node& node, const ObjectTypeRegistry& types,
-      dmcs::HandlerId route_h, dmcs::HandlerId migrate_h, dmcs::HandlerId update_h);
+      dmcs::HandlerId route_h, dmcs::HandlerId migrate_h, dmcs::HandlerId update_h,
+      dmcs::HandlerId offer_h, dmcs::HandlerId commit_h);
 
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
@@ -95,6 +98,13 @@ class Mol {
   void on_route(dmcs::Message&& msg);
   void on_migrate(dmcs::Message&& msg);
   void on_location_update(dmcs::Message&& msg);
+  void on_offer(dmcs::Message&& msg);
+  void on_commit(dmcs::Message&& msg);
+
+  /// Migrations offered but not yet commit-acked (transactional handoff).
+  /// Zero at quiescence on a correct run — the delivery-ledger checks assert
+  /// this after fault-injected experiments.
+  [[nodiscard]] std::size_t in_transit_count() const;
 
  private:
   struct Buffered {
@@ -119,6 +129,9 @@ class Mol {
       PREMA_REQUIRES(node_.state_mutex());
   void on_route_locked(dmcs::Message&& msg) PREMA_REQUIRES(node_.state_mutex());
   void on_migrate_locked(dmcs::Message&& msg) PREMA_REQUIRES(node_.state_mutex());
+  void on_offer_locked(dmcs::Message&& msg) PREMA_REQUIRES(node_.state_mutex());
+  void send_commit(ProcId to, const MobilePtr& ptr, std::uint64_t epoch)
+      PREMA_REQUIRES(node_.state_mutex());
 
   /// Best current guess for where `ptr` lives (never this processor).
   [[nodiscard]] ProcId best_known(const MobilePtr& ptr) const
@@ -139,7 +152,7 @@ class Mol {
 
   dmcs::Node& node_;
   const ObjectTypeRegistry& types_;
-  dmcs::HandlerId route_h_, migrate_h_, update_h_;
+  dmcs::HandlerId route_h_, migrate_h_, update_h_, offer_h_, commit_h_;
   Hooks hooks_;  ///< installed before run(), then read-only
 
   // -- directory state, guarded by the node's state lock --------------------
@@ -162,6 +175,23 @@ class Mol {
   /// Next outgoing sequence number, per target.
   std::unordered_map<MobilePtr, std::uint32_t> next_seq_out_
       PREMA_GUARDED_BY(node_.state_mutex());
+
+  // -- transactional migration (used when the node runs reliable transport) --
+  /// Offers sent but not yet commit-acked: ptr -> (destination, epoch). The
+  /// forwarding address is installed at offer time, so routing keeps working
+  /// while the commit is in flight; the entry only tracks the open handoff.
+  struct InTransit {
+    ProcId dst;
+    std::uint64_t epoch;
+  };
+  std::unordered_map<MobilePtr, InTransit> in_transit_
+      PREMA_GUARDED_BY(node_.state_mutex());
+  /// Offers already installed here, keyed by (sender, epoch): a duplicated
+  /// offer re-sends the commit instead of cloning the object. Bounded by the
+  /// number of inbound migrations over the run.
+  std::set<std::pair<ProcId, std::uint64_t>> installed_offers_
+      PREMA_GUARDED_BY(node_.state_mutex());
+  std::uint64_t migration_epoch_ PREMA_GUARDED_BY(node_.state_mutex()) = 0;
 };
 
 /// Machine-wide MOL: registers the DMCS handlers once and owns one Mol per

@@ -19,6 +19,12 @@ constexpr std::uint8_t kTermReport = 1;
 constexpr std::uint8_t kTermProbe = 2;
 constexpr std::uint8_t kTermAck = 3;
 constexpr std::uint8_t kTermDone = 4;
+constexpr std::uint8_t kTermRetry = 5;
+
+/// Coordinator re-probe period when a wave fails under reliable transport
+/// (longer than the transport's initial RTO so a retransmit round can finish
+/// before the next wave looks).
+constexpr double kTermRetryDelayS = 5e-3;
 
 }  // namespace
 
@@ -67,7 +73,12 @@ struct Runtime::NodeRt {
     return node->stats().received - term_recv;
   }
   [[nodiscard]] bool locally_quiet() const PREMA_REQUIRES(node->state_mutex()) {
-    return !sched.has_work() && !node->executing() && node->inbox_size() == 0;
+    // transport_quiet guards the counting wave against reliable-delivery
+    // state: a message that was acked into a resequencing buffer (or is
+    // awaiting retransmit) is counted as in-flight even though no inbox
+    // holds it yet, so a wave cannot balance while recovery is pending.
+    return !sched.has_work() && !node->executing() && node->inbox_size() == 0 &&
+           node->transport_quiet();
   }
 };
 
@@ -79,6 +90,7 @@ struct Runtime::TermCoordinator {
 
   std::uint64_t wave = 0;
   bool wave_active = false;
+  bool retry_armed = false;
   int acks = 0;
   bool all_idle = true;
   std::uint64_t ack_sent_sum = 0;
@@ -325,14 +337,22 @@ void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
   c.ack_recv_sum = 0;
   c.snap_sent_sum = snapshot;
 
+  // Rank 0 answers its own probe locally — evaluated *before* the probes go
+  // out, because under reliable transport the freshly sent (not yet acked)
+  // probes would otherwise make rank 0's own link non-quiet and fail every
+  // wave it starts. eff counts are unaffected by the probe sends (term
+  // traffic is netted out), so the evaluation order is invisible otherwise.
+  const std::uint64_t self_sent = r0.eff_sent();
+  const std::uint64_t self_recv = r0.eff_recv();
+  const bool self_idle = r0.locally_quiet();
+
   ByteWriter w;
   w.put<std::uint8_t>(kTermProbe);
   w.put<std::uint64_t>(c.wave);
   for (ProcId p = 1; p < static_cast<ProcId>(c.sent.size()); ++p) {
     term_send(0, p, w.bytes());
   }
-  // Rank 0 answers its own probe locally.
-  term_record_ack(r0, c.wave, r0.eff_sent(), r0.eff_recv(), r0.locally_quiet());
+  term_record_ack(r0, c.wave, self_sent, self_recv, self_idle);
 }
 
 void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
@@ -351,7 +371,16 @@ void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent
                   (unsigned long long)c.ack_recv_sum,
                   (unsigned long long)c.snap_sent_sum);
   c.wave_active = false;
-  if (!c.all_idle || c.ack_sent_sum != c.ack_recv_sum) return;  // still active
+  if (!c.all_idle || c.ack_sent_sum != c.ack_recv_sum) {
+    // Still active. Under reliable transport a wave can fail on *transient*
+    // recovery state — a node awaiting the ack of its last term report, or a
+    // message parked in a resequencing buffer — after which no count ever
+    // changes again, so no report will re-trigger a wave. Re-probe on a
+    // timer; unreliable (fault-free) runs never need this and keep their
+    // exact legacy event sequence.
+    if (r0.node->reliable_transport()) term_schedule_retry(r0);
+    return;
+  }
   if (c.ack_sent_sum == c.snap_sent_sum) {
     // Two observations with identical monotone counts and every processor
     // idle in between: nothing is in flight anywhere. Terminated.
@@ -371,9 +400,24 @@ void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent
   term_start_wave(r0, c.ack_sent_sum);
 }
 
+void Runtime::term_schedule_retry(NodeRt& r0) {
+  r0.assert_state_held();
+  auto& c = *term_;
+  if (c.retry_armed) return;
+  c.retry_armed = true;
+  ByteWriter w;
+  w.put<std::uint8_t>(kTermRetry);
+  // A self-addressed timer, not term_send: internal messages bypass the
+  // sent/received stats, so the detector's own counts stay untouched.
+  r0.node->send_self_after(kTermRetryDelayS,
+                           Message{term_h_, 0, MsgKind::kSystem, w.take()});
+}
+
 void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
   r.assert_state_held();  // handler thunk takes the node's state lock
-  ++r.term_recv;
+  // Timer (internal) messages were never counted as received, so they must
+  // not be netted out either.
+  if (!msg.internal) ++r.term_recv;
   ByteReader reader(msg.payload);
   const auto tag = reader.get<std::uint8_t>();
   switch (tag) {
@@ -413,6 +457,12 @@ void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
       r.balancer->stop();
       r.node->cancel_timers();
       return;
+    case kTermRetry: {
+      PREMA_CHECK_MSG(r.node->rank() == 0, "termination retry at non-coordinator");
+      term_->retry_armed = false;
+      if (!term_detected_ && !term_->wave_active) term_consider_wave(r);
+      return;
+    }
     default:
       PREMA_CHECK_MSG(false, "unknown termination message tag");
   }

@@ -129,6 +129,7 @@ class Runtime {
   void term_on_wire(NodeRt& rt, dmcs::Message&& msg);
   void term_consider_wave(NodeRt& r0);
   void term_start_wave(NodeRt& r0, std::uint64_t snapshot);
+  void term_schedule_retry(NodeRt& r0);
   void term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
                        std::uint64_t recv, bool idle);
 

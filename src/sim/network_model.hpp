@@ -37,13 +37,19 @@ struct NetworkModel {
   }
 
   /// CPU seconds charged on the sender for a message of `bytes` payload.
+  /// The wire header is packed/copied by the same CPU path as the payload,
+  /// so it is charged here exactly as transfer_time charges it on the wire
+  /// (it used to be free, which understated small-message CPU cost).
   [[nodiscard]] double send_cpu(std::size_t payload_bytes) const {
-    return send_overhead_s + static_cast<double>(payload_bytes) * per_byte_cpu_s;
+    return send_overhead_s +
+           static_cast<double>(payload_bytes + header_bytes) * per_byte_cpu_s;
   }
 
   /// CPU seconds charged on the receiver for a message of `bytes` payload.
+  /// Includes header_bytes, matching send_cpu and transfer_time.
   [[nodiscard]] double recv_cpu(std::size_t payload_bytes) const {
-    return recv_overhead_s + static_cast<double>(payload_bytes) * per_byte_cpu_s;
+    return recv_overhead_s +
+           static_cast<double>(payload_bytes + header_bytes) * per_byte_cpu_s;
   }
 };
 

@@ -67,6 +67,11 @@ ProcCounters& ProcCounters::operator+=(const ProcCounters& other) {
   policy_wire_msgs += other.policy_wire_msgs;
   poll_wakeups += other.poll_wakeups;
   term_waves += other.term_waves;
+  faults_injected += other.faults_injected;
+  retransmits += other.retransmits;
+  acks_sent += other.acks_sent;
+  dup_drops += other.dup_drops;
+  corrupt_drops += other.corrupt_drops;
   work_seconds += other.work_seconds;
   partition_seconds += other.partition_seconds;
   msg_size += other.msg_size;

@@ -62,6 +62,12 @@ struct ProcCounters {
   std::uint64_t policy_wire_msgs = 0;
   std::uint64_t poll_wakeups = 0;
   std::uint64_t term_waves = 0;
+  // Reliability / fault-injection counters (all zero on a fault-free run):
+  std::uint64_t faults_injected = 0;   ///< wire-side drop/dup/delay/reorder/corrupt
+  std::uint64_t retransmits = 0;       ///< copies resent after a timeout
+  std::uint64_t acks_sent = 0;         ///< bare cumulative acks sent
+  std::uint64_t dup_drops = 0;         ///< duplicate copies absorbed on receive
+  std::uint64_t corrupt_drops = 0;     ///< checksum-mismatched copies discarded
 
   double work_seconds = 0.0;       ///< summed work-unit span durations
   double partition_seconds = 0.0;  ///< summed partition span durations

@@ -69,6 +69,9 @@ const char* chrome_category(EventKind k) {
     case EventKind::kPolicyWire: return "policy";
     case EventKind::kPollWakeup: return "polling";
     case EventKind::kTermWave: return "termination";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRetransmit:
+    case EventKind::kAck: return "transport";
     case EventKind::kCount: break;
   }
   return "?";
@@ -113,6 +116,19 @@ std::string chrome_args(const TraceEvent& e) {
       break;
     case EventKind::kTermWave:
       a = "\"wave\":" + std::to_string(e.size);
+      break;
+    case EventKind::kFault:
+      a = "\"peer\":" + std::to_string(e.peer) + ",\"type\":\"" +
+          std::string(fault_type_name(static_cast<FaultType>(e.value))) +
+          "\",\"bytes\":" + std::to_string(e.size);
+      break;
+    case EventKind::kRetransmit:
+      a = "\"dst\":" + std::to_string(e.peer) +
+          ",\"seq\":" + std::to_string(e.size);
+      break;
+    case EventKind::kAck:
+      a = "\"dst\":" + std::to_string(e.peer) +
+          ",\"ack\":" + std::to_string(e.size);
       break;
     case EventKind::kCount:
       break;
@@ -246,6 +262,19 @@ void write_summary(std::ostream& os, const TraceRecorder& rec,
                   all.migrations_per_round.max());
     os << buf;
   }
+  if (all.faults_injected + all.retransmits + all.dup_drops +
+          all.corrupt_drops >
+      0) {
+    std::snprintf(buf, sizeof buf,
+                  "  reliability: %llu faults injected, %llu retransmits, "
+                  "%llu acks, %llu dup drops, %llu corrupt drops\n",
+                  (unsigned long long)all.faults_injected,
+                  (unsigned long long)all.retransmits,
+                  (unsigned long long)all.acks_sent,
+                  (unsigned long long)all.dup_drops,
+                  (unsigned long long)all.corrupt_drops);
+    os << buf;
+  }
 
   if (!ledgers.empty()) {
     // Reconcile exact (drop-proof) span-second counters against the ledger
@@ -283,13 +312,14 @@ void write_counters_csv(std::ostream& os, const TraceRecorder& rec) {
   os << "proc,work_units,work_seconds,partitions,partition_seconds,msgs_sent,"
         "msgs_received,bytes_sent,bytes_received,migrations_out,migrations_in,"
         "policy_decisions,policy_wire_msgs,poll_wakeups,term_waves,"
+        "faults_injected,retransmits,acks_sent,dup_drops,corrupt_drops,"
         "events_dropped\n";
-  char buf[320];
+  char buf[400];
   for (ProcId p = 0; p < rec.nprocs(); ++p) {
     const ProcCounters& c = rec.sink(p).counters();
     std::snprintf(buf, sizeof buf,
                   "%d,%llu,%.9g,%llu,%.9g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-                  "%llu,%llu,%llu,%llu\n",
+                  "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
                   p, (unsigned long long)c.work_units, c.work_seconds,
                   (unsigned long long)c.partitions, c.partition_seconds,
                   (unsigned long long)c.msgs_sent,
@@ -302,6 +332,11 @@ void write_counters_csv(std::ostream& os, const TraceRecorder& rec) {
                   (unsigned long long)c.policy_wire_msgs,
                   (unsigned long long)c.poll_wakeups,
                   (unsigned long long)c.term_waves,
+                  (unsigned long long)c.faults_injected,
+                  (unsigned long long)c.retransmits,
+                  (unsigned long long)c.acks_sent,
+                  (unsigned long long)c.dup_drops,
+                  (unsigned long long)c.corrupt_drops,
                   (unsigned long long)rec.sink(p).dropped());
     os << buf;
   }

@@ -18,7 +18,23 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kPolicyWire: return "policy-msg";
     case EventKind::kPollWakeup: return "poll-wakeup";
     case EventKind::kTermWave: return "term-wave";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kAck: return "ack";
     case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view fault_type_name(FaultType t) {
+  switch (t) {
+    case FaultType::kDrop: return "drop";
+    case FaultType::kDuplicate: return "dup";
+    case FaultType::kDelay: return "delay";
+    case FaultType::kReorder: return "reorder";
+    case FaultType::kCorrupt: return "corrupt";
+    case FaultType::kDupDropped: return "dup-dropped";
+    case FaultType::kCorruptDropped: return "corrupt-dropped";
   }
   return "?";
 }
@@ -196,6 +212,44 @@ void TraceSink::term_wave(double t, std::uint64_t wave) {
   util::LockGuard g(mu_);
   push_locked(e);
   ++counters_.term_waves;
+}
+
+void TraceSink::fault(double t, ProcId peer, FaultType type, std::size_t bytes) {
+  TraceEvent e;
+  e.kind = EventKind::kFault;
+  e.t0 = t;
+  e.peer = peer;
+  e.size = bytes;
+  e.value = static_cast<double>(type);
+  util::LockGuard g(mu_);
+  push_locked(e);
+  switch (type) {
+    case FaultType::kDupDropped: ++counters_.dup_drops; break;
+    case FaultType::kCorruptDropped: ++counters_.corrupt_drops; break;
+    default: ++counters_.faults_injected; break;
+  }
+}
+
+void TraceSink::retransmit(double t, ProcId dst, std::uint32_t seq) {
+  TraceEvent e;
+  e.kind = EventKind::kRetransmit;
+  e.t0 = t;
+  e.peer = dst;
+  e.size = seq;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.retransmits;
+}
+
+void TraceSink::ack(double t, ProcId dst, std::uint32_t cumulative) {
+  TraceEvent e;
+  e.kind = EventKind::kAck;
+  e.t0 = t;
+  e.peer = dst;
+  e.size = cumulative;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.acks_sent;
 }
 
 ProcCounters TraceSink::counters() const {

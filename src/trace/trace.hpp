@@ -63,8 +63,27 @@ enum class EventKind : std::uint8_t {
   kPolicyWire,      ///< instant: policy protocol message arrived (size=tag)
   kPollWakeup,      ///< instant: preemptive polling-thread wakeup
   kTermWave,        ///< instant: termination-detector wave launched (size=wave)
+  kFault,           ///< instant: injected/absorbed fault (value=FaultType, peer, size=bytes)
+  kRetransmit,      ///< instant: reliable-transport retransmission (peer=dst, size=seq)
+  kAck,             ///< instant: bare cumulative ack sent (peer=dst, size=ack value)
   kCount
 };
+
+/// Code stored in TraceEvent::value for EventKind::kFault events. The first
+/// five are wire-side injections (recorded on the sender); the last two are
+/// receiver-side absorptions by the reliable transport.
+enum class FaultType : std::uint8_t {
+  kDrop = 0,
+  kDuplicate,
+  kDelay,
+  kReorder,
+  kCorrupt,
+  kDupDropped,     ///< receiver discarded a duplicate copy
+  kCorruptDropped  ///< receiver discarded a checksum-mismatched copy
+};
+
+/// Display label for a fault type ("drop", "dup", ...).
+std::string_view fault_type_name(FaultType t);
 
 constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kCount);
 
@@ -149,6 +168,12 @@ class TraceSink {
   void policy_wire(double t, ProcId src, std::uint8_t tag);
   void poll_wakeup(double t);
   void term_wave(double t, std::uint64_t wave);
+  /// A fault was injected on (or absorbed from) the link to/from `peer`.
+  void fault(double t, ProcId peer, FaultType type, std::size_t bytes);
+  /// The reliable transport retransmitted seq `seq` toward `dst`.
+  void retransmit(double t, ProcId dst, std::uint32_t seq);
+  /// A bare cumulative ack was sent toward `dst`.
+  void ack(double t, ProcId dst, std::uint32_t cumulative);
 
   // -- counters / introspection ------------------------------------------
   /// Lightweight per-processor counters and histograms, updated under the

@@ -163,6 +163,7 @@ struct Rule {
   bool allow_scope_prefix;  ///< std::-qualified names keep their ':' prefix
   bool require_call;        ///< only flag when followed by '('
   const char* why;
+  bool skip_if_ref = false;  ///< ignore when followed by '&' (a reference)
 };
 
 constexpr Rule kRules[] = {
@@ -183,6 +184,16 @@ constexpr Rule kRules[] = {
      "wall clock in library code; use the machine's virtual clock"},
     {"determinism", "gettimeofday", true, true,
      "wall clock in library code; use the machine's virtual clock"},
+    // -- randomness ---------------------------------------------------------
+    // Owning a util::Rng means owning a random stream, and every stream is
+    // schedule-relevant state: only the emulator core, the thread backend,
+    // the fault-injection subsystem and the partitioner may hold one.
+    // Borrowing by reference (util::Rng&) is fine — that consumes the
+    // machine's seeded stream instead of minting a new one.
+    {"randomness", "Rng", true, false,
+     "owning RNG stream outside the sanctioned owners (sim engine, thread "
+     "backend, src/fault, partitioner); take util::Rng& from the node instead",
+     /*skip_if_ref=*/true},
     // -- locking ------------------------------------------------------------
     {"locking", "mutex", true, false,
      "raw std::mutex; use util::Mutex (support/thread_annotations.hpp) so "
@@ -222,6 +233,16 @@ bool allowed(std::string_view rule, std::string_view rel) {
     return rel == "dmcs/thread_machine.hpp" || rel == "dmcs/thread_machine.cpp" ||
            rel == "support/rng.hpp";
   }
+  if (rule == "randomness") {
+    // The sanctioned RNG owners: the emulator core (one stream per machine),
+    // the thread backend (per-worker streams), the fault subsystem (one
+    // stream per link — the whole point of src/fault), the RNG wrapper
+    // itself, and the partitioner's seeded coarsening.
+    if (rel.size() >= 6 && rel.substr(0, 6) == "fault/") return true;
+    return rel == "sim/engine.hpp" || rel == "dmcs/thread_machine.hpp" ||
+           rel == "dmcs/thread_machine.cpp" || rel == "support/rng.hpp" ||
+           rel == "partition/multilevel.cpp";
+  }
   if (rule == "locking") {
     // The one place raw primitives may appear: the annotated wrappers.
     return rel == "support/thread_annotations.hpp";
@@ -247,6 +268,14 @@ void lint_content(const std::string& rel, std::string_view raw,
           find_ident(code, r.needle, from, r.allow_scope_prefix, r.require_call);
       if (pos == std::string_view::npos) break;
       from = pos + 1;
+      if (r.skip_if_ref) {
+        std::size_t after = pos + std::string_view(r.needle).size();
+        while (after < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[after]))) {
+          ++after;
+        }
+        if (after < code.size() && code[after] == '&') continue;
+      }
       const auto line = 1 + std::count(code.begin(),
                                        code.begin() + static_cast<std::ptrdiff_t>(pos),
                                        '\n');
@@ -311,6 +340,10 @@ constexpr Snippet kSnippets[] = {
     {"bare rand() call", "sim/event_queue.cpp", "int r = rand();", true},
     {"bare time() call", "prema/runtime.cpp", "auto t = time(nullptr);", true},
     {"std::time() call", "prema/runtime.cpp", "auto t = std::time(nullptr);", true},
+    {"owning Rng in library code", "ilb/policies/work_stealing.cpp",
+     "util::Rng rng_{7};", true},
+    {"Rng in a container outside src/fault", "mol/mol.cpp",
+     "std::vector<util::Rng> streams_;", true},
     {"raw std::mutex", "ilb/scheduler.hpp", "std::mutex mu_;", true},
     {"raw lock_guard", "ilb/scheduler.cpp",
      "std::lock_guard<std::mutex> g(mu_);", true},
@@ -345,6 +378,14 @@ constexpr Snippet kSnippets[] = {
      "int mutex_count = 0; double timeout = grand_total;", false},
     {"rng.hpp may seed from anywhere", "support/rng.hpp",
      "std::random_device rd;", false},
+    {"borrowing util::Rng& is fine anywhere", "ilb/policies/work_stealing.cpp",
+     "util::Rng& rng = ctx.rng();", false},
+    {"fault subsystem owns its per-link streams", "fault/fault_plan.hpp",
+     "std::vector<util::Rng> link_rng_;", false},
+    {"sim engine owns the machine stream", "sim/engine.hpp",
+     "util::Rng rng_;", false},
+    {"partitioner seeds its own stream", "partition/multilevel.cpp",
+     "util::Rng rng(opts.seed);", false},
 };
 
 int self_test() {
