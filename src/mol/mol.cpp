@@ -116,6 +116,7 @@ void Mol::message_locked(const MobilePtr& target, ObjectHandlerId handler,
 void Mol::send_route(ProcId dst, const MobilePtr& target, ProcId origin,
                      std::uint32_t seq, std::uint32_t hops, ObjectHandlerId handler,
                      double weight, std::vector<std::uint8_t>&& payload) {
+  // wire:mol.route pack w
   ByteWriter w(payload.size() + 48);
   put_ptr(w, target);
   w.put<ProcId>(origin);
@@ -133,6 +134,7 @@ void Mol::on_route(Message&& msg) {
 }
 
 void Mol::on_route_locked(Message&& msg) {
+  // wire:mol.route unpack r
   ByteReader r(msg.payload);
   const MobilePtr target = get_ptr(r);
   const ProcId origin = r.get<ProcId>();
@@ -147,6 +149,7 @@ void Mol::on_route_locked(Message&& msg) {
     if (hops > 0 && origin != node_.rank()) {
       // The sender's location information was stale; tell it where the
       // object actually lives so future messages go direct.
+      // wire:mol.update pack w
       ByteWriter w;
       put_ptr(w, target);
       w.put<ProcId>(node_.rank());
@@ -217,6 +220,7 @@ void Mol::migrate_locked(const MobilePtr& ptr, ProcId dst) {
   std::vector<Delivery> queued;
   if (hooks_.take_queued) queued = hooks_.take_queued(ptr);
 
+  // wire:mol.migrate pack w
   ByteWriter w;
   put_ptr(w, ptr);
   w.put<std::uint32_t>(entry.obj->type_id());
@@ -265,6 +269,7 @@ void Mol::migrate_locked(const MobilePtr& ptr, ProcId dst) {
   // at the transport layer until it lands.
   const std::uint64_t epoch = ++migration_epoch_;
   in_transit_[ptr] = InTransit{dst, epoch};
+  // wire:mol.offer pack ow
   ByteWriter ow;
   put_ptr(ow, ptr);
   ow.put<std::uint64_t>(epoch);
@@ -284,6 +289,7 @@ void Mol::on_offer(Message&& msg) {
 
 void Mol::on_offer_locked(Message&& msg) {
   const ProcId from = msg.src;
+  // wire:mol.offer unpack r
   ByteReader r(msg.payload);
   const MobilePtr ptr = get_ptr(r);
   const auto epoch = r.get<std::uint64_t>();
@@ -302,6 +308,7 @@ void Mol::on_offer_locked(Message&& msg) {
 }
 
 void Mol::send_commit(ProcId to, const MobilePtr& ptr, std::uint64_t epoch) {
+  // wire:mol.commit pack w
   ByteWriter w;
   put_ptr(w, ptr);
   w.put<std::uint64_t>(epoch);
@@ -310,6 +317,7 @@ void Mol::send_commit(ProcId to, const MobilePtr& ptr, std::uint64_t epoch) {
 
 void Mol::on_commit(Message&& msg) {
   util::RecursiveLock g(node_.state_mutex());
+  // wire:mol.commit unpack r
   ByteReader r(msg.payload);
   const MobilePtr ptr = get_ptr(r);
   const auto epoch = r.get<std::uint64_t>();
@@ -326,6 +334,7 @@ void Mol::on_migrate_locked(Message&& msg) {
   if (auto* ts = node_.trace()) {
     ts->migration_in(node_.now(), msg.src, msg.payload.size());
   }
+  // wire:mol.migrate unpack r
   ByteReader r(msg.payload);
   const MobilePtr ptr = get_ptr(r);
   const auto type_id = r.get<std::uint32_t>();
@@ -375,6 +384,7 @@ void Mol::on_migrate_locked(Message&& msg) {
 
   // Tell the home processor so new senders find the object directly.
   if (ptr.home != node_.rank()) {
+    // wire:mol.update pack w
     ByteWriter w;
     put_ptr(w, ptr);
     w.put<ProcId>(node_.rank());
@@ -396,6 +406,7 @@ void Mol::on_migrate_locked(Message&& msg) {
 
 void Mol::on_location_update(Message&& msg) {
   util::RecursiveLock g(node_.state_mutex());
+  // wire:mol.update unpack r
   ByteReader r(msg.payload);
   const MobilePtr ptr = get_ptr(r);
   const ProcId loc = r.get<ProcId>();

@@ -158,6 +158,9 @@ Runtime::Runtime(dmcs::Machine& machine, RuntimeConfig cfg)
     term_on_wire(rt(n.rank()), std::move(m));
   });
 
+  // Construction is single-threaded (no workers yet); the assert only tells
+  // the thread-safety analysis so.
+  assert_coord_held();
   term_ = std::make_unique<TermCoordinator>();
   term_->sent.assign(static_cast<std::size_t>(machine_.nprocs()), -1);
   term_->recv.assign(static_cast<std::size_t>(machine_.nprocs()), -1);
@@ -293,9 +296,11 @@ void Runtime::term_on_idle(NodeRt& r) {
   r.reported_recv = recv;
   ByteWriter w;
   w.put<std::uint8_t>(kTermReport);
+  // wire:prema.term.report pack w
   w.put<std::int64_t>(sent);
   w.put<std::int64_t>(recv);
   if (r.node->rank() == 0) {
+    assert_coord_held();  // rank 0's state lock *is* the coordinator lock
     term_->sent[0] = sent;
     term_->recv[0] = recv;
     term_consider_wave(r);
@@ -307,6 +312,7 @@ void Runtime::term_on_idle(NodeRt& r) {
 void Runtime::term_consider_wave(NodeRt& r0) {
   r0.assert_state_held();
   PREMA_CHECK(r0.node->rank() == 0);
+  assert_coord_held();
   auto& c = *term_;
   if (c.wave_active || term_detected_) return;
   std::int64_t sent_sum = 0;
@@ -326,6 +332,7 @@ void Runtime::term_consider_wave(NodeRt& r0) {
 
 void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
   r0.assert_state_held();
+  assert_coord_held();
   auto& c = *term_;
   ++c.wave;
   ++term_waves_;
@@ -348,6 +355,7 @@ void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
 
   ByteWriter w;
   w.put<std::uint8_t>(kTermProbe);
+  // wire:prema.term.probe pack w
   w.put<std::uint64_t>(c.wave);
   for (ProcId p = 1; p < static_cast<ProcId>(c.sent.size()); ++p) {
     term_send(0, p, w.bytes());
@@ -358,6 +366,7 @@ void Runtime::term_start_wave(NodeRt& r0, std::uint64_t snapshot) {
 void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
                               std::uint64_t recv, bool idle) {
   r0.assert_state_held();
+  assert_coord_held();
   auto& c = *term_;
   if (!c.wave_active || wave != c.wave || term_detected_) return;
   ++c.acks;
@@ -402,6 +411,7 @@ void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent
 
 void Runtime::term_schedule_retry(NodeRt& r0) {
   r0.assert_state_held();
+  assert_coord_held();
   auto& c = *term_;
   if (c.retry_armed) return;
   c.retry_armed = true;
@@ -423,6 +433,8 @@ void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
   switch (tag) {
     case kTermReport: {
       PREMA_CHECK_MSG(r.node->rank() == 0, "termination report at non-coordinator");
+      assert_coord_held();
+      // wire:prema.term.report unpack reader
       const auto sent = reader.get<std::int64_t>();
       const auto recv = reader.get<std::int64_t>();
       auto& c = *term_;
@@ -432,9 +444,11 @@ void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
       return;
     }
     case kTermProbe: {
+      // wire:prema.term.probe unpack reader
       const auto wave = reader.get<std::uint64_t>();
       ByteWriter w;
       w.put<std::uint8_t>(kTermAck);
+      // wire:prema.term.ack pack w
       w.put<std::uint64_t>(wave);
       w.put<std::uint64_t>(r.eff_sent());
       w.put<std::uint64_t>(r.eff_recv());
@@ -444,6 +458,7 @@ void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
     }
     case kTermAck: {
       PREMA_CHECK_MSG(r.node->rank() == 0, "termination ack at non-coordinator");
+      // wire:prema.term.ack unpack reader
       const auto wave = reader.get<std::uint64_t>();
       const auto sent = reader.get<std::uint64_t>();
       const auto recv = reader.get<std::uint64_t>();
@@ -459,6 +474,7 @@ void Runtime::term_on_wire(NodeRt& r, Message&& msg) {
       return;
     case kTermRetry: {
       PREMA_CHECK_MSG(r.node->rank() == 0, "termination retry at non-coordinator");
+      assert_coord_held();
       term_->retry_armed = false;
       if (!term_detected_ && !term_->wave_active) term_consider_wave(r);
       return;

@@ -114,8 +114,16 @@ class Runtime {
   [[nodiscard]] mol::Mol& mol_at(ProcId p) { return mol_layer_->at(p); }
   [[nodiscard]] ilb::Scheduler& scheduler_at(ProcId p);
   [[nodiscard]] ilb::Balancer& balancer_at(ProcId p);
-  [[nodiscard]] bool termination_detected() const { return term_detected_; }
-  [[nodiscard]] std::uint64_t termination_waves() const { return term_waves_; }
+  /// Post-run, single-threaded reads of coordinator state (the workers have
+  /// joined by the time run() returns, so no lock is taken).
+  [[nodiscard]] bool termination_detected() const
+      PREMA_NO_THREAD_SAFETY_ANALYSIS {
+    return term_detected_;
+  }
+  [[nodiscard]] std::uint64_t termination_waves() const
+      PREMA_NO_THREAD_SAFETY_ANALYSIS {
+    return term_waves_;
+  }
   [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
 
  private:
@@ -151,9 +159,20 @@ class Runtime {
   dmcs::HandlerId policy_h_ = dmcs::kNoHandler;
   dmcs::HandlerId term_h_ = dmcs::kNoHandler;
 
-  std::unique_ptr<TermCoordinator> term_;
-  bool term_detected_ = false;
-  std::uint64_t term_waves_ = 0;
+  /// The capability guarding all coordinator-side termination state: the
+  /// detector runs entirely inside rank 0's message handlers / idle hook, so
+  /// rank 0's state mutex is what those paths already hold.
+  [[nodiscard]] util::RecursiveMutex& coord_mutex()
+      PREMA_RETURN_CAPABILITY(machine_.node(0).state_mutex()) {
+    return machine_.node(0).state_mutex();
+  }
+  /// Annotation shim for out-of-line coordinator paths (term_consider_wave
+  /// and friends), mirroring NodeRt::assert_state_held.
+  void assert_coord_held() PREMA_ASSERT_CAPABILITY(coord_mutex()) {}
+
+  std::unique_ptr<TermCoordinator> term_ PREMA_GUARDED_BY(coord_mutex());
+  bool term_detected_ PREMA_GUARDED_BY(coord_mutex()) = false;
+  std::uint64_t term_waves_ PREMA_GUARDED_BY(coord_mutex()) = 0;
   bool ran_ = false;
 };
 

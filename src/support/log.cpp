@@ -5,8 +5,22 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/thread_annotations.hpp"
+
 namespace prema::util {
 namespace {
+
+/// The output sink. Guarded so concurrent logf calls from thread-backend
+/// workers cannot interleave the prefix / body / newline writes of a line.
+struct SinkState {
+  util::Mutex mu;
+  std::FILE* stream PREMA_GUARDED_BY(mu) = nullptr;  ///< nullptr = stderr
+};
+
+SinkState& sink() {
+  static SinkState s;
+  return s;
+}
 
 LogLevel initial_level() {
   const char* env = std::getenv("PREMA_LOG");
@@ -38,14 +52,23 @@ void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(leve
 
 LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
 
+void set_log_sink(std::FILE* stream) {
+  SinkState& s = sink();
+  util::LockGuard g(s.mu);
+  s.stream = stream;
+}
+
 void logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[prema %s] ", level_tag(level));
+  SinkState& s = sink();
+  util::LockGuard g(s.mu);
+  std::FILE* out = s.stream != nullptr ? s.stream : stderr;
+  std::fprintf(out, "[prema %s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vfprintf(out, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  std::fputc('\n', out);
 }
 
 }  // namespace prema::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string_view>
+
+/// \file wire_names.hpp
+/// Human-readable display labels for every wire handler in the protocol
+/// manifest (PREMA_WIRE_HANDLERS, dmcs/message.hpp). Trace exporters use
+/// these when rendering per-handler rows, so a handler without a label shows
+/// up as an opaque id in Perfetto. The static analyzer's "protocol" pass
+/// keeps this table and the manifest in lockstep: a manifest entry with no
+/// label here fails analysis (protocol-untraced), as does a label for a
+/// handler the manifest dropped (protocol-stale-label).
+
+namespace prema::trace {
+
+#define PREMA_WIRE_LABELS(X)                         \
+  X("prema.exec", "PREMA remote execution")          \
+  X("ilb.policy", "ILB policy exchange")             \
+  X("prema.term", "termination detection wave")      \
+  X("mol.route", "MOL routed message")               \
+  X("mol.migrate", "MOL object migration")           \
+  X("mol.update", "MOL location update")             \
+  X("mol.offer", "MOL migration offer")              \
+  X("mol.commit", "MOL migration commit")            \
+  X("charm.msg", "chare point-to-point message")     \
+  X("charm.exec", "chare entry-method execution")    \
+  X("charm.sync", "chare AtSync barrier")            \
+  X("charm.assign", "chare rebalance assignment")    \
+  X("charm.migrate", "chare migration payload")      \
+  X("charm.migdone", "chare migration complete")     \
+  X("charm.resume", "chare resume after rebalance")  \
+  X("srp.exec", "SRP work execution")                \
+  X("srp.low", "SRP low-work signal")                \
+  X("srp.halt", "SRP halt broadcast")                \
+  X("srp.report", "SRP load report")                 \
+  X("srp.assign", "SRP repartition assignment")      \
+  X("srp.migdone", "SRP migration complete")         \
+  X("srp.resume", "SRP resume broadcast")            \
+  X("srp.completed", "SRP work-item completion")
+
+/// Display label for a registered wire-handler name; empty view when the
+/// name is not in the table (the caller falls back to the raw name).
+inline std::string_view wire_label(std::string_view name) {
+#define X(wire, label) \
+  if (name == wire) return label;
+  PREMA_WIRE_LABELS(X)
+#undef X
+  return {};
+}
+
+}  // namespace prema::trace

@@ -1,0 +1,111 @@
+// Golden tests for the prema_analyze passes (tools/analyze): each fixture
+// under tools/analyze/fixtures/<pass>/<case>/ is a tiny source tree with a
+// seeded violation (or none, for the clean case); running every pass over it
+// must reproduce EXPECT.txt exactly — rule, file, line and message. The
+// analyzer's own --self-test covers the passes as library code on embedded
+// snippets; these prove the on-disk pipeline (tree loading, hierarchy
+// parsing, finding formatting) end to end and pin the exact diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analyze/report.hpp"
+
+namespace {
+
+using namespace prema::analyze;
+
+// Injected by CMake: absolute path of tools/analyze/fixtures.
+const std::string kFixtures = PREMA_ANALYZE_FIXTURES;
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Run every pass over the fixture's src/ tree with its (optional) local
+/// lock_hierarchy.txt and return the findings formatted one per line,
+/// exactly as the CLI prints them.
+std::string analyze_fixture(const std::string& rel_case) {
+  const std::string dir = kFixtures + "/" + rel_case;
+  Tree tree;
+  EXPECT_TRUE(load_tree(dir + "/src", tree)) << dir;
+  Options opts;
+  opts.hierarchy_text = read_file_or_empty(dir + "/lock_hierarchy.txt");
+  Findings out;
+  run_all_passes(tree, opts, out);
+  std::string text;
+  for (const Finding& f : out) {
+    text += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+            f.message + "\n";
+  }
+  return text;
+}
+
+std::string expected(const std::string& rel_case) {
+  return read_file_or_empty(kFixtures + "/" + rel_case + "/EXPECT.txt");
+}
+
+TEST(AnalyzeFixtures, LockOrderInversion) {
+  EXPECT_EQ(analyze_fixture("lock_order/inversion"),
+            expected("lock_order/inversion"));
+}
+
+TEST(AnalyzeFixtures, LockOrderUnguarded) {
+  EXPECT_EQ(analyze_fixture("lock_order/unguarded"),
+            expected("lock_order/unguarded"));
+}
+
+TEST(AnalyzeFixtures, ProtocolUnregistered) {
+  EXPECT_EQ(analyze_fixture("protocol/unregistered"),
+            expected("protocol/unregistered"));
+}
+
+TEST(AnalyzeFixtures, SerializationAsymmetry) {
+  EXPECT_EQ(analyze_fixture("serialization/asymmetry"),
+            expected("serialization/asymmetry"));
+}
+
+TEST(AnalyzeFixtures, TimeDomainMixing) {
+  EXPECT_EQ(analyze_fixture("time_domain/mixing"),
+            expected("time_domain/mixing"));
+}
+
+TEST(AnalyzeFixtures, CleanTreeHasNoFindings) {
+  EXPECT_EQ(analyze_fixture("clean"), expected("clean"));
+}
+
+// -- report layer -----------------------------------------------------------
+
+TEST(AnalyzeReport, FingerprintIsLineFree) {
+  const Finding a{"rule", "dir/file.cpp", 10, "message"};
+  const Finding b{"rule", "dir/file.cpp", 99, "message"};
+  EXPECT_EQ(fingerprint(a), "rule|dir/file.cpp|message");
+  EXPECT_EQ(fingerprint(a), fingerprint(b));  // survives code motion
+}
+
+TEST(AnalyzeReport, BaselineRoundTrip) {
+  const Findings all = {{"r1", "f1", 1, "m1"}, {"r2", "f2", 2, "m2"}};
+  const auto base = parse_baseline(render_baseline(all));
+  EXPECT_TRUE(subtract_baseline(all, base).empty());
+  // A finding not in the baseline survives subtraction.
+  const Findings fresh = {{"r3", "f3", 3, "m3"}};
+  EXPECT_EQ(subtract_baseline(fresh, base).size(), 1u);
+}
+
+TEST(AnalyzeReport, SarifMentionsRuleAndFingerprint) {
+  const std::string sarif =
+      render_sarif({{"demo-rule", "a/b.cpp", 7, "it \"broke\""}});
+  EXPECT_NE(sarif.find("\"ruleId\": \"demo-rule\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(sarif.find("premaAnalyze/v1"), std::string::npos);
+  EXPECT_NE(sarif.find("\\\"broke\\\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,20 @@
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+
+const std::vector<PassInfo>& all_passes() {
+  static const std::vector<PassInfo> passes = {
+      {"conventions", pass_conventions},
+      {"lock-order", pass_lock_order},
+      {"protocol", pass_protocol},
+      {"serialization", pass_serialization},
+      {"time-domain", pass_time_domain},
+  };
+  return passes;
+}
+
+void run_all_passes(const Tree& tree, const Options& opts, Findings& out) {
+  for (const PassInfo& p : all_passes()) p.fn(tree, opts, out);
+}
+
+}  // namespace prema::analyze

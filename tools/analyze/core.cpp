@@ -1,0 +1,226 @@
+#include "analyze/core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace prema::analyze {
+
+namespace fs = std::filesystem;
+
+std::string fingerprint(const Finding& f) {
+  return f.rule + "|" + f.file + "|" + f.message;
+}
+
+std::string strip_comments_and_literals(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+
+  auto blank_until = [&](std::size_t end) {
+    for (; i < end && i < n; ++i) out.push_back(in[i] == '\n' ? '\n' : ' ');
+  };
+
+  while (i < n) {
+    const char c = in[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      std::size_t end = in.find('\n', i);
+      blank_until(end == std::string_view::npos ? n : end);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      std::size_t end = in.find("*/", i + 2);
+      blank_until(end == std::string_view::npos ? n : end + 2);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+        (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                    in[i - 1] != '_'))) {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && in[p] != '(' && delim.size() <= 16) delim.push_back(in[p++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = in.find(closer, p);
+      blank_until(end == std::string_view::npos ? n : end + closer.size());
+      continue;
+    }
+    // Ordinary string / char literal. A lone apostrophe between digits is a
+    // C++14 digit separator (1'000'000), not a char literal.
+    if (c == '"' ||
+        (c == '\'' && !(i > 0 && std::isdigit(static_cast<unsigned char>(in[i - 1])) &&
+                        i + 1 < n && std::isdigit(static_cast<unsigned char>(in[i + 1]))))) {
+      std::size_t p = i + 1;
+      while (p < n && in[p] != c && in[p] != '\n') {
+        if (in[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      blank_until(p < n ? p + 1 : n);
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t find_ident(std::string_view hay, std::string_view needle,
+                       std::size_t from, bool allow_scope_prefix,
+                       bool require_call) {
+  while (true) {
+    const std::size_t pos = hay.find(needle, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    from = pos + 1;
+    if (pos > 0) {
+      const char before = hay[pos - 1];
+      if (ident_char(before)) continue;
+      if (before == '.' || (before == '>' && pos >= 2 && hay[pos - 2] == '-')) {
+        continue;
+      }
+      if (!allow_scope_prefix && before == ':') continue;
+    }
+    std::size_t after = pos + needle.size();
+    if (after < hay.size() && ident_char(hay[after])) continue;
+    if (require_call) {
+      while (after < hay.size() &&
+             std::isspace(static_cast<unsigned char>(hay[after]))) {
+        ++after;
+      }
+      if (after >= hay.size() || hay[after] != '(') continue;
+    }
+    return pos;
+  }
+}
+
+std::size_t find_member_call(std::string_view hay, std::string_view needle,
+                             std::size_t from) {
+  while (true) {
+    const std::size_t pos = hay.find(needle, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    from = pos + 1;
+    if (pos == 0) continue;
+    const char before = hay[pos - 1];
+    const bool member = before == '.' ||
+                        (before == '>' && pos >= 2 && hay[pos - 2] == '-');
+    if (!member) continue;
+    std::size_t after = pos + needle.size();
+    if (after < hay.size() && ident_char(hay[after])) continue;
+    after = skip_ws(hay, after);
+    if (after >= hay.size() || hay[after] != '(') continue;
+    return pos;
+  }
+}
+
+int line_of(std::string_view text, std::size_t pos) {
+  pos = std::min(pos, text.size());
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() + static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::size_t matching_paren(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t p = open; p < code.size(); ++p) {
+    if (code[p] == '(') ++depth;
+    if (code[p] == ')' && --depth == 0) return p;
+  }
+  return std::string_view::npos;
+}
+
+std::optional<std::string> call_string_arg(const SourceFile& f, std::size_t open) {
+  std::size_t p = skip_ws(f.raw, open + 1);
+  if (p >= f.raw.size() || f.raw[p] != '"') return std::nullopt;
+  std::string value;
+  for (++p; p < f.raw.size() && f.raw[p] != '"'; ++p) {
+    if (f.raw[p] == '\\' && p + 1 < f.raw.size()) ++p;
+    value.push_back(f.raw[p]);
+  }
+  return value;
+}
+
+std::vector<std::string> split_args(std::string_view args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string lock_base_name(std::string_view expr) {
+  std::string s;
+  for (const char c : expr) {
+    if (!std::isspace(static_cast<unsigned char>(c))) s.push_back(c);
+  }
+  // Keep only the final component of any member-access chain.
+  for (std::size_t p = s.size(); p-- > 0;) {
+    if (s[p] == '.') {
+      s = s.substr(p + 1);
+      break;
+    }
+    if (s[p] == '>' && p > 0 && s[p - 1] == '-') {
+      s = s.substr(p + 1);
+      break;
+    }
+  }
+  if (s.size() >= 2 && s.substr(s.size() - 2) == "()") s.resize(s.size() - 2);
+  if (!s.empty() && s.front() == '&') s.erase(s.begin());
+  if (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
+}
+
+bool load_tree(const std::string& root, Tree& out) {
+  if (!fs::is_directory(root)) return false;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  out.files.reserve(files.size());
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out.files.push_back(
+        make_file(fs::relative(path, root).generic_string(), ss.str()));
+  }
+  return true;
+}
+
+SourceFile make_file(std::string rel, std::string raw) {
+  SourceFile f;
+  f.rel = std::move(rel);
+  f.code = strip_comments_and_literals(raw);
+  f.raw = std::move(raw);
+  return f;
+}
+
+}  // namespace prema::analyze

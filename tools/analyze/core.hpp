@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file core.hpp
+/// Shared substrate of prema_analyze (tools/analyze): source loading, the
+/// comment/literal-stripping lexer and the identifier-level scanning helpers
+/// every pass is built from. No libclang — the passes work on a byte-offset
+/// preserving "code view" of each file (comments and literals blanked out, so
+/// positions in the code view index the raw bytes too, which is how string
+/// literal arguments are recovered after a match).
+
+namespace prema::analyze {
+
+/// One source file of the analyzed tree.
+struct SourceFile {
+  std::string rel;   ///< path relative to the scanned root, forward slashes
+  std::string raw;   ///< original bytes
+  std::string code;  ///< raw with comments/literals blanked (same length)
+};
+
+struct Tree {
+  std::vector<SourceFile> files;
+};
+
+/// One analyzer finding. `message` must be deterministic and line-free so the
+/// baseline fingerprint survives unrelated edits to the same file.
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Stable identity of a finding for baseline suppression: rule|file|message
+/// (no line number, so findings don't churn when code moves within a file).
+std::string fingerprint(const Finding& f);
+
+/// Inputs shared by the passes. Empty text disables the dependent checks
+/// (fixtures provide their own hierarchy; a missing DESIGN.md skips the
+/// drift check).
+struct Options {
+  std::string hierarchy_text;  ///< contents of tools/analyze/lock_hierarchy.txt
+  std::string design_text;     ///< contents of DESIGN.md (drift check)
+};
+
+// ---------------------------------------------------------------------------
+// Lexing / scanning helpers
+// ---------------------------------------------------------------------------
+
+/// Replace comments, string literals (including raw strings) and char
+/// literals with spaces, preserving newlines and byte offsets so line numbers
+/// and raw-text lookups survive.
+std::string strip_comments_and_literals(std::string_view in);
+
+/// True for [A-Za-z0-9_].
+bool ident_char(char c);
+
+/// First position >= `from` where `needle` occurs as a whole identifier.
+/// Member access (`msg.time`, `obj->time`) never matches — that names
+/// someone else's `time`, not ::time. `allow_scope_prefix` permits a
+/// preceding "::" (so `std::time` is caught too); without it any scope
+/// qualification disqualifies the match. `require_call` additionally demands
+/// a following '(' (possibly after whitespace).
+std::size_t find_ident(std::string_view hay, std::string_view needle,
+                       std::size_t from, bool allow_scope_prefix,
+                       bool require_call);
+
+/// Like find_ident but the identifier must be reached through member access
+/// (`x.name` / `x->name`) and be called — how handler registrations
+/// (`reg.add("...")`) and state-lock acquisitions (`n.lock_state()`) appear.
+std::size_t find_member_call(std::string_view hay, std::string_view needle,
+                             std::size_t from);
+
+/// 1-based line number of byte offset `pos`.
+int line_of(std::string_view text, std::size_t pos);
+
+/// Position past any whitespace starting at `pos`.
+std::size_t skip_ws(std::string_view text, std::size_t pos);
+
+/// Offset of the ')' matching the '(' at `open`; npos if unbalanced.
+std::size_t matching_paren(std::string_view code, std::size_t open);
+
+/// First string-literal argument of a call whose '(' sits at `open` in the
+/// code view: reads the quoted value back out of `raw` (the code view has it
+/// blanked). nullopt when the first argument is not a string literal.
+std::optional<std::string> call_string_arg(const SourceFile& f, std::size_t open);
+
+/// Split an annotation argument list at top-level commas.
+std::vector<std::string> split_args(std::string_view args);
+
+/// Canonical base name of a lock expression: `node_.state_mutex()` ->
+/// "state_mutex", `mu_` -> "mu" (member access, call parens, `&`, `this->`
+/// and one trailing underscore stripped).
+std::string lock_base_name(std::string_view expr);
+
+/// Load every .hpp/.cpp/.h/.cc under `root` (sorted, rel paths generic).
+/// Returns false when root is not a directory.
+bool load_tree(const std::string& root, Tree& out);
+
+/// Run a single in-memory file through the same pipeline (self-tests,
+/// fixtures assembled from snippets).
+SourceFile make_file(std::string rel, std::string raw);
+
+}  // namespace prema::analyze

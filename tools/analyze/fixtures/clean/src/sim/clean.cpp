@@ -1,0 +1,21 @@
+// A legal file: nested locks in hierarchy order, symmetric wire schema,
+// and arithmetic kept inside one clock domain.
+void nested() {
+  util::LockGuard g1(a_mu_);
+  util::LockGuard g2(b_mu_);
+}
+
+void pack_ok(ByteWriter& w) {
+  // wire:demo.ok pack w
+  w.put<double>(1.0);
+}
+
+void unpack_ok(ByteReader& r) {
+  // wire:demo.ok unpack r
+  const double v = r.get<double>();
+}
+
+void virtual_only(Node* n) {
+  double later = n->now() + 0.25;
+  schedule(later);
+}

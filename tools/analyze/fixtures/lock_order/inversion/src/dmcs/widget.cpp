@@ -1,0 +1,5 @@
+// Seeded violation: acquires the outer lock while holding the inner one.
+void inverted() {
+  util::LockGuard g1(b_mu_);
+  util::LockGuard g2(a_mu_);
+}

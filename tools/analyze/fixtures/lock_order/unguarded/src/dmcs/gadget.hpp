@@ -1,0 +1,9 @@
+// Seeded violation: a declared mutex with no thread-safety annotation.
+class Gadget {
+ public:
+  void poke();
+
+ private:
+  util::Mutex mu_;
+  int counter_ = 0;
+};

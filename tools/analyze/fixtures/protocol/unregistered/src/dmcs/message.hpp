@@ -1,0 +1,4 @@
+// Seeded violation: demo.pong is in the manifest but never registered.
+#define PREMA_WIRE_HANDLERS(X) \
+  X(kPing, "demo.ping")        \
+  X(kPong, "demo.pong")

@@ -1,0 +1,3 @@
+void install(Registry& reg) {
+  reg.add("demo.ping", nullptr);
+}

@@ -1,0 +1,3 @@
+#define PREMA_WIRE_LABELS(X)  \
+  X("demo.ping", "demo ping") \
+  X("demo.pong", "demo pong")

@@ -1,0 +1,12 @@
+// Seeded violation: the unpack side reads a different first field type.
+void pack_demo(ByteWriter& w) {
+  // wire:demo.blob pack w
+  w.put<std::uint32_t>(1);
+  w.put_bytes(body);
+}
+
+void unpack_demo(ByteReader& r) {
+  // wire:demo.blob unpack r
+  const auto a = r.get<std::uint64_t>();
+  auto body = r.get_bytes();
+}

@@ -1,0 +1,5 @@
+// Seeded violation: wall-clock elapsed seconds added to virtual time.
+void mix(Node* n) {
+  double deadline = machine_.elapsed_s() + n->now();
+  schedule(deadline);
+}

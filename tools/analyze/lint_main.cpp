@@ -1,0 +1,58 @@
+// prema_lint — compatibility alias for the original single-pass linter, now
+// a thin shell over the analyzer framework's "conventions" pass. CLI, output
+// and exit codes match the retired tools/prema_lint.cpp byte for byte; new
+// checks live in prema_analyze (main.cpp).
+
+#include <cstdio>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace {
+
+using namespace prema::analyze;
+
+int self_test() {
+  std::size_t cases = 0;
+  const int failures = legacy_self_test(cases);
+  if (failures != 0) {
+    std::fprintf(stderr, "prema_lint --self-test: %d failure(s) out of %zu cases\n",
+                 failures, cases);
+    return 1;
+  }
+  std::printf("prema_lint --self-test: OK (%zu cases)\n", cases);
+  return 0;
+}
+
+int lint_tree(const std::string& root) {
+  Tree tree;
+  if (!load_tree(root, tree)) {
+    std::fprintf(stderr, "prema_lint: %s is not a directory\n", root.c_str());
+    return 2;
+  }
+  Findings violations;
+  Options opts;
+  pass_conventions(tree, opts, violations);
+  for (const Finding& f : violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "prema_lint: %zu violation(s) in %zu file(s) scanned\n",
+                 violations.size(), tree.files.size());
+    return 1;
+  }
+  std::printf("prema_lint: OK (%zu files scanned)\n", tree.files.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--self-test") return self_test();
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: prema_lint <src-root> | prema_lint --self-test\n");
+    return 2;
+  }
+  return lint_tree(argv[1]);
+}

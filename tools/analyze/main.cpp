@@ -1,0 +1,152 @@
+// prema_analyze — multi-pass semantic static analyzer for the PREMA runtime.
+//
+//   prema_analyze <src-root> [--hierarchy F] [--design F] [--baseline F]
+//                            [--sarif OUT] [--write-baseline F]
+//   prema_analyze --self-test
+//
+// Scans the tree rooted at <src-root> with every pass (see passes.hpp),
+// subtracts the baseline and reports what is left. Exit 0 when no new
+// findings, 1 when there are, 2 on usage/IO errors.
+//
+// Defaults, resolved relative to <src-root>'s parent (the repo root when
+// scanning src/): tools/analyze/lock_hierarchy.txt, DESIGN.md and
+// tools/analyze/baseline.txt. A missing *default* file just disables the
+// dependent checks; an explicitly given path must exist.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analyze/report.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace prema::analyze;
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: prema_analyze <src-root> [--hierarchy F] [--design F]\n"
+               "                     [--baseline F] [--sarif OUT] "
+               "[--write-baseline F]\n"
+               "       prema_analyze --self-test\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--self-test") return run_self_test();
+  if (argc < 2 || argv[1][0] == '-') return usage();
+
+  const fs::path root = argv[1];
+  std::string hierarchy_path;
+  std::string design_path;
+  std::string baseline_path;
+  std::string sarif_out;
+  std::string write_baseline_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return usage();
+    const std::string value = argv[++i];
+    if (flag == "--hierarchy") {
+      hierarchy_path = value;
+    } else if (flag == "--design") {
+      design_path = value;
+    } else if (flag == "--baseline") {
+      baseline_path = value;
+    } else if (flag == "--sarif") {
+      sarif_out = value;
+    } else if (flag == "--write-baseline") {
+      write_baseline_out = value;
+    } else {
+      return usage();
+    }
+  }
+
+  Tree tree;
+  if (!load_tree(root.string(), tree)) {
+    std::fprintf(stderr, "prema_analyze: %s is not a directory\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  // Resolve inputs: explicit paths are required to exist, defaults are
+  // optional (an absent default simply disables the dependent checks).
+  const fs::path repo = root.parent_path();
+  auto resolve = [&](const std::string& given, const fs::path& fallback,
+                     std::string& out_text) -> bool {
+    const fs::path path = given.empty() ? fallback : fs::path(given);
+    const auto text = read_file(path);
+    if (!text && !given.empty()) {
+      std::fprintf(stderr, "prema_analyze: cannot read %s\n", path.string().c_str());
+      return false;
+    }
+    if (text) out_text = *text;
+    return true;
+  };
+
+  Options opts;
+  std::string baseline_text;
+  if (!resolve(hierarchy_path, repo / "tools" / "analyze" / "lock_hierarchy.txt",
+               opts.hierarchy_text) ||
+      !resolve(design_path, repo / "DESIGN.md", opts.design_text) ||
+      !resolve(baseline_path, repo / "tools" / "analyze" / "baseline.txt",
+               baseline_text)) {
+    return 2;
+  }
+
+  Findings all;
+  run_all_passes(tree, opts, all);
+
+  if (!write_baseline_out.empty()) {
+    std::ofstream out(write_baseline_out, std::ios::binary);
+    out << render_baseline(all);
+    if (!out) {
+      std::fprintf(stderr, "prema_analyze: cannot write %s\n",
+                   write_baseline_out.c_str());
+      return 2;
+    }
+    std::printf("prema_analyze: wrote baseline with %zu finding(s) to %s\n",
+                all.size(), write_baseline_out.c_str());
+    return 0;
+  }
+
+  const Findings fresh = subtract_baseline(all, parse_baseline(baseline_text));
+
+  if (!sarif_out.empty()) {
+    std::ofstream out(sarif_out, std::ios::binary);
+    out << render_sarif(fresh);
+    if (!out) {
+      std::fprintf(stderr, "prema_analyze: cannot write %s\n", sarif_out.c_str());
+      return 2;
+    }
+  }
+
+  for (const Finding& f : fresh) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!fresh.empty()) {
+    std::fprintf(stderr,
+                 "prema_analyze: %zu new finding(s) (%zu suppressed by baseline) "
+                 "in %zu file(s) scanned\n",
+                 fresh.size(), all.size() - fresh.size(), tree.files.size());
+    return 1;
+  }
+  std::printf("prema_analyze: OK (%zu files scanned, %zu passes, "
+              "%zu baseline-suppressed)\n",
+              tree.files.size(), all_passes().size(), all.size());
+  return 0;
+}

@@ -1,161 +1,33 @@
-// prema_lint: determinism and locking-discipline linter for the PREMA source
-// tree. A fast token scan (no libclang) that walks src/ and enforces the
-// invariants the runtime's reproducibility and thread-safety analysis rest
-// on:
+// The original prema_lint rule families, migrated into the analyzer
+// framework as the "conventions" pass:
 //
 //  1. determinism — no wall clocks or ambient randomness in library code.
 //     std::chrono::{steady,system,high_resolution}_clock, std::random_device,
-//     and the C legacy rand()/srand()/time()/clock()/gettimeofday() are
-//     banned everywhere except the real-threads backend (thread_machine.*,
-//     which *is* the wall-clock domain) and the seeded RNG wrapper
-//     (support/rng.hpp). The emulated machine must derive every number from
-//     seeded state or Figures 3-6 stop being reproducible.
+//     and the C legacy rand()/srand()/time()/gettimeofday() are banned
+//     everywhere except the real-threads backend (thread_machine.*, which
+//     *is* the wall-clock domain) and the seeded RNG wrapper
+//     (support/rng.hpp).
 //
 //  2. locking — no raw std:: synchronization primitives outside
-//     support/thread_annotations.hpp. Clang's -Wthread-safety can only see
-//     mutexes that carry capability attributes; a std::mutex smuggled in
-//     anywhere else is invisible to the analysis, so the lint closes that
-//     hole.
+//     support/thread_annotations.hpp; a std::mutex smuggled in anywhere else
+//     is invisible to -Wthread-safety.
 //
-//  3. logging — no direct stdout/stderr writes (printf family, std::cout,
-//     std::cerr) in library code; use support/log.hpp. CLI entry points
-//     (*_main.cpp) and the log/assert implementation itself are exempt.
-//     snprintf-into-a-buffer is formatting, not output, and stays legal.
+//  3. logging — no direct stdout/stderr writes in library code; use
+//     support/log.hpp. CLI entry points (*_main.cpp) and the log/assert
+//     implementation itself are exempt.
 //
-// Comments, string literals (including raw strings), and char literals are
-// stripped before matching, so prose and format strings never trip a rule.
-//
-// Usage:
-//   prema_lint <src-root>     lint every .hpp/.cpp under the directory
-//   prema_lint --self-test    run the built-in positive/negative snippets
-//
-// Exit code 0 = clean, 1 = violations (or self-test failure), 2 = usage.
+// The randomness family (owning util::Rng outside the sanctioned owners)
+// rides along with determinism as it always has.
 
-#include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <iterator>
 #include <string>
-#include <string_view>
-#include <vector>
 
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
 namespace {
-
-namespace fs = std::filesystem;
-
-struct Violation {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string needle;
-  std::string why;
-};
-
-// ---------------------------------------------------------------------------
-// Lexer: replace comments and literals with spaces, preserving newlines so
-// line numbers survive.
-// ---------------------------------------------------------------------------
-
-std::string strip_comments_and_literals(std::string_view in) {
-  std::string out;
-  out.reserve(in.size());
-  std::size_t i = 0;
-  const std::size_t n = in.size();
-
-  auto blank_until = [&](std::size_t end) {
-    for (; i < end && i < n; ++i) out.push_back(in[i] == '\n' ? '\n' : ' ');
-  };
-
-  while (i < n) {
-    const char c = in[i];
-    // Line comment.
-    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
-      std::size_t end = in.find('\n', i);
-      blank_until(end == std::string_view::npos ? n : end);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
-      std::size_t end = in.find("*/", i + 2);
-      blank_until(end == std::string_view::npos ? n : end + 2);
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
-        (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
-                    in[i - 1] != '_'))) {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && in[p] != '(' && delim.size() <= 16) delim.push_back(in[p++]);
-      const std::string closer = ")" + delim + "\"";
-      std::size_t end = in.find(closer, p);
-      blank_until(end == std::string_view::npos ? n : end + closer.size());
-      continue;
-    }
-    // Ordinary string / char literal. A lone apostrophe between digits is a
-    // C++14 digit separator (1'000'000), not a char literal.
-    if (c == '"' ||
-        (c == '\'' && !(i > 0 && std::isdigit(static_cast<unsigned char>(in[i - 1])) &&
-                        i + 1 < n && std::isdigit(static_cast<unsigned char>(in[i + 1]))))) {
-      std::size_t p = i + 1;
-      while (p < n && in[p] != c && in[p] != '\n') {
-        if (in[p] == '\\' && p + 1 < n) ++p;
-        ++p;
-      }
-      blank_until(p < n ? p + 1 : n);
-      continue;
-    }
-    out.push_back(c);
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Matching. std::regex has no lookbehind, so identifier boundaries are
-// checked by hand.
-// ---------------------------------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// First position >= `from` where `needle` occurs as a whole identifier.
-/// Member access (`msg.time`, `obj->time`) never matches — that names
-/// someone else's `time`, not ::time. `allow_scope_prefix` permits a
-/// preceding "::" (so `std::time` is caught too); without it any scope
-/// qualification disqualifies the match. `require_call` additionally demands
-/// a following '(' (possibly after whitespace), so taking an address or
-/// naming a type does not count.
-std::size_t find_ident(std::string_view hay, std::string_view needle,
-                       std::size_t from, bool allow_scope_prefix,
-                       bool require_call) {
-  while (true) {
-    const std::size_t pos = hay.find(needle, from);
-    if (pos == std::string_view::npos) return std::string_view::npos;
-    from = pos + 1;
-    if (pos > 0) {
-      const char before = hay[pos - 1];
-      if (ident_char(before)) continue;
-      if (before == '.' || (before == '>' && pos >= 2 && hay[pos - 2] == '-')) {
-        continue;
-      }
-      if (!allow_scope_prefix && before == ':') continue;
-    }
-    std::size_t after = pos + needle.size();
-    if (after < hay.size() && ident_char(hay[after])) continue;
-    if (require_call) {
-      while (after < hay.size() &&
-             std::isspace(static_cast<unsigned char>(hay[after]))) {
-        ++after;
-      }
-      if (after >= hay.size() || hay[after] != '(') continue;
-    }
-    return pos;
-  }
-}
 
 struct Rule {
   const char* name;
@@ -257,76 +129,16 @@ bool allowed(std::string_view rule, std::string_view rel) {
   return false;
 }
 
-void lint_content(const std::string& rel, std::string_view raw,
-                  std::vector<Violation>& out) {
-  const std::string code = strip_comments_and_literals(raw);
-  for (const Rule& r : kRules) {
-    if (allowed(r.name, rel)) continue;
-    std::size_t from = 0;
-    while (true) {
-      const std::size_t pos =
-          find_ident(code, r.needle, from, r.allow_scope_prefix, r.require_call);
-      if (pos == std::string_view::npos) break;
-      from = pos + 1;
-      if (r.skip_if_ref) {
-        std::size_t after = pos + std::string_view(r.needle).size();
-        while (after < code.size() &&
-               std::isspace(static_cast<unsigned char>(code[after]))) {
-          ++after;
-        }
-        if (after < code.size() && code[after] == '&') continue;
-      }
-      const auto line = 1 + std::count(code.begin(),
-                                       code.begin() + static_cast<std::ptrdiff_t>(pos),
-                                       '\n');
-      out.push_back({rel, static_cast<int>(line), r.name, r.needle, r.why});
-    }
-  }
-}
-
-int lint_tree(const fs::path& root) {
-  if (!fs::is_directory(root)) {
-    std::fprintf(stderr, "prema_lint: %s is not a directory\n",
-                 root.string().c_str());
-    return 2;
-  }
-  std::vector<Violation> violations;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const auto ext = entry.path().extension();
-    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
-    files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
-  for (const auto& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    std::string rel = fs::relative(path, root).generic_string();
-    lint_content(rel, ss.str(), violations);
-  }
-  for (const auto& v : violations) {
-    std::fprintf(stderr, "%s:%d: [%s] `%s`: %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.needle.c_str(), v.why.c_str());
-  }
-  if (!violations.empty()) {
-    std::fprintf(stderr, "prema_lint: %zu violation(s) in %zu file(s) scanned\n",
-                 violations.size(), files.size());
-    return 1;
-  }
-  std::printf("prema_lint: OK (%zu files scanned)\n", files.size());
-  return 0;
-}
-
 // ---------------------------------------------------------------------------
-// Self-test: every rule must fire on a seeded violation and stay silent on
-// the idiomatic legal spelling of the same thing.
+// Self-test snippets: every rule must fire on a seeded violation and stay
+// silent on the idiomatic legal spelling of the same thing. Kept verbatim
+// from the original prema_lint so `prema_lint --self-test` behavior is
+// preserved through the alias.
 // ---------------------------------------------------------------------------
 
 struct Snippet {
   const char* label;
-  const char* rel;       ///< pretend path relative to src root
+  const char* rel;  ///< pretend path relative to src root
   const char* code;
   bool expect_violation;
 };
@@ -388,39 +200,56 @@ constexpr Snippet kSnippets[] = {
      "util::Rng rng(opts.seed);", false},
 };
 
-int self_test() {
+}  // namespace
+
+void lint_content(const std::string& rel, std::string_view raw, Findings& out) {
+  const std::string code = strip_comments_and_literals(raw);
+  for (const Rule& r : kRules) {
+    if (allowed(r.name, rel)) continue;
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos =
+          find_ident(code, r.needle, from, r.allow_scope_prefix, r.require_call);
+      if (pos == std::string_view::npos) break;
+      from = pos + 1;
+      if (r.skip_if_ref) {
+        std::size_t after = pos + std::string_view(r.needle).size();
+        after = skip_ws(code, after);
+        if (after < code.size() && code[after] == '&') continue;
+      }
+      Finding f;
+      f.rule = r.name;
+      f.file = rel;
+      f.line = line_of(code, pos);
+      f.message = std::string("`") + r.needle + "`: " + r.why;
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+void pass_conventions(const Tree& tree, const Options&, Findings& out) {
+  for (const SourceFile& f : tree.files) lint_content(f.rel, f.raw, out);
+}
+
+int legacy_self_test(std::size_t& cases_out) {
+  cases_out = std::size(kSnippets);
   int failures = 0;
   for (const Snippet& s : kSnippets) {
-    std::vector<Violation> out;
+    Findings out;
     lint_content(s.rel, s.code, out);
     const bool fired = !out.empty();
     if (fired != s.expect_violation) {
       std::fprintf(stderr, "self-test FAIL: %s (expected %s, got %s)\n", s.label,
                    s.expect_violation ? "violation" : "clean",
                    fired ? "violation" : "clean");
-      for (const auto& v : out) {
-        std::fprintf(stderr, "  fired: [%s] `%s` at line %d\n", v.rule.c_str(),
-                     v.needle.c_str(), v.line);
+      for (const auto& f : out) {
+        std::fprintf(stderr, "  fired: [%s] %s at line %d\n", f.rule.c_str(),
+                     f.message.c_str(), f.line);
       }
       ++failures;
     }
   }
-  if (failures != 0) {
-    std::fprintf(stderr, "prema_lint --self-test: %d failure(s) out of %zu cases\n",
-                 failures, std::size(kSnippets));
-    return 1;
-  }
-  std::printf("prema_lint --self-test: OK (%zu cases)\n", std::size(kSnippets));
-  return 0;
+  return failures;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc == 2 && std::string_view(argv[1]) == "--self-test") return self_test();
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: prema_lint <src-root> | prema_lint --self-test\n");
-    return 2;
-  }
-  return lint_tree(argv[1]);
-}
+}  // namespace prema::analyze

@@ -1,0 +1,363 @@
+// Lock-order analysis. Builds an acquisition graph from two sources —
+// lexical nesting of RAII lock scopes (util::LockGuard / util::UniqueLock /
+// util::RecursiveLock / Node::lock_state()) and PREMA_REQUIRES annotations
+// on inline function bodies — and checks every edge against the checked-in
+// hierarchy (tools/analyze/lock_hierarchy.txt): a lock acquired while
+// another is held must sit strictly *below* the held one, except a lock
+// marked `recursive` re-acquiring itself. Independently of the hierarchy,
+// the accumulated graph is searched for cycles (potential deadlocks).
+//
+// Two structural checks ride along:
+//  - every declared util::Mutex / util::RecursiveMutex member must resolve
+//    to a hierarchy entry (lock-unlisted) and be referenced by at least one
+//    thread-safety annotation in its file (lock-unguarded) — the
+//    GUARDED_BY-coverage rule that keeps -Wthread-safety airtight;
+//  - every hierarchy entry must be named in DESIGN.md's prose hierarchy
+//    (lock-hierarchy-drift), so the document and the machine-readable file
+//    cannot diverge silently.
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+namespace {
+
+struct Matcher {
+  std::string path;   ///< rel-path substring qualifier ("" = any file)
+  std::string ident;  ///< canonical base name (lock_base_name form)
+};
+
+struct LockEntry {
+  std::string name;
+  std::vector<Matcher> matchers;
+  bool recursive = false;
+};
+
+/// lock_hierarchy.txt: one entry per line, ordered top (outermost) to bottom
+/// (innermost). `name  matcher[,matcher...]  [recursive]` where a matcher is
+/// `ident` or `path-substring!ident`. '#' starts a comment.
+std::vector<LockEntry> parse_hierarchy(std::string_view text) {
+  std::vector<LockEntry> entries;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::vector<std::string> fields;
+    std::string cur;
+    for (const char c : line + " ") {
+      if (c == ' ' || c == '\t' || c == '\r') {
+        if (!cur.empty()) fields.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (fields.empty()) continue;
+    LockEntry e;
+    e.name = fields[0];
+    if (fields.size() >= 2) {
+      for (const std::string& m : split_args(fields[1])) {
+        Matcher matcher;
+        if (const auto bang = m.find('!'); bang != std::string::npos) {
+          matcher.path = m.substr(0, bang);
+          matcher.ident = m.substr(bang + 1);
+        } else {
+          matcher.ident = m;
+        }
+        e.matchers.push_back(std::move(matcher));
+      }
+    }
+    if (fields.size() >= 3 && fields[2] == "recursive") e.recursive = true;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+/// Hierarchy entry index for a canonical lock name acquired in `rel`;
+/// -1 when nothing matches.
+int resolve(const std::vector<LockEntry>& entries, std::string_view rel,
+            std::string_view base) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (const Matcher& m : entries[i].matchers) {
+      if (m.ident != base) continue;
+      if (!m.path.empty() && rel.find(m.path) == std::string_view::npos) continue;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+struct Acquisition {
+  std::size_t pos = 0;   ///< event position in the code view
+  std::string base;      ///< canonical lock name
+  bool at_open_brace = false;  ///< REQUIRES hold: attaches inside the '{' at pos
+};
+
+/// True when the identifier token ending just before `pos` (after a "::")
+/// is `qual` — e.g. is this `LockGuard` spelled `util::LockGuard`?
+bool has_qualifier(std::string_view code, std::size_t pos, std::string_view qual) {
+  if (pos < 2 || code[pos - 1] != ':' || code[pos - 2] != ':') return false;
+  std::size_t end = pos - 2;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(code[begin - 1])) --begin;
+  return code.substr(begin, end - begin) == qual;
+}
+
+/// Collect RAII acquisitions and REQUIRES holds in one file, sorted by
+/// position.
+std::vector<Acquisition> collect_acquisitions(const SourceFile& f) {
+  std::vector<Acquisition> events;
+  const std::string_view code = f.code;
+
+  for (const char* type : {"LockGuard", "UniqueLock", "RecursiveLock"}) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_ident(code, type, from, true, false);
+      if (pos == std::string_view::npos) break;
+      from = pos + 1;
+      if (!has_qualifier(code, pos, "util")) continue;
+      std::size_t p = skip_ws(code, pos + std::string_view(type).size());
+      while (p < code.size() && ident_char(code[p])) ++p;  // optional var name
+      p = skip_ws(code, p);
+      if (p >= code.size() || code[p] != '(') continue;  // not a construction
+      const std::size_t close = matching_paren(code, p);
+      if (close == std::string_view::npos) continue;
+      const auto args = split_args(code.substr(p + 1, close - p - 1));
+      if (args.empty()) continue;
+      events.push_back({pos, lock_base_name(args[0]), false});
+    }
+  }
+
+  // Node::lock_state() returns an RAII lock over the node's state mutex;
+  // member-call sites are acquisitions of `state_mutex`.
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t pos = find_member_call(code, "lock_state", from);
+    if (pos == std::string_view::npos) break;
+    from = pos + 1;
+    events.push_back({pos, "state_mutex", false});
+  }
+
+  // PREMA_REQUIRES on an inline definition: the listed capabilities are held
+  // for the whole body, so acquisitions inside it create ordering edges.
+  from = 0;
+  while (true) {
+    const std::size_t pos = find_ident(code, "PREMA_REQUIRES", from, false, true);
+    if (pos == std::string_view::npos) break;
+    from = pos + 1;
+    const std::size_t open = code.find('(', pos);
+    const std::size_t close = matching_paren(code, open);
+    if (close == std::string_view::npos) continue;
+    // Find the function body this annotation belongs to; a ';' first means
+    // it was a declaration (no body here).
+    std::size_t q = close + 1;
+    while (q < code.size() && code[q] != '{' && code[q] != ';' && code[q] != '}') ++q;
+    if (q >= code.size() || code[q] != '{') continue;
+    for (const std::string& arg : split_args(code.substr(open + 1, close - open - 1))) {
+      events.push_back({q, lock_base_name(arg), true});
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const Acquisition& a, const Acquisition& b) { return a.pos < b.pos; });
+  return events;
+}
+
+struct Hold {
+  int entry = -1;  ///< hierarchy index, -1 unresolved
+  std::string base;
+  int depth = 0;
+};
+
+struct DeclaredMutex {
+  std::string rel;
+  std::string name;  ///< canonical base
+  int line = 0;
+};
+
+/// util::Mutex / util::RecursiveMutex member declarations (`util::Mutex x_;`).
+std::vector<DeclaredMutex> collect_mutex_decls(const SourceFile& f) {
+  std::vector<DeclaredMutex> out;
+  const std::string_view code = f.code;
+  for (const char* type : {"Mutex", "RecursiveMutex"}) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_ident(code, type, from, true, false);
+      if (pos == std::string_view::npos) break;
+      from = pos + 1;
+      if (!has_qualifier(code, pos, "util")) continue;
+      std::size_t p = skip_ws(code, pos + std::string_view(type).size());
+      std::size_t name_begin = p;
+      while (p < code.size() && ident_char(code[p])) ++p;
+      if (p == name_begin) continue;  // `util::Mutex&` — a reference, not a decl
+      const std::string name(code.substr(name_begin, p - name_begin));
+      p = skip_ws(code, p);
+      if (p >= code.size() || code[p] != ';') continue;
+      out.push_back({f.rel, lock_base_name(name), line_of(code, pos)});
+    }
+  }
+  return out;
+}
+
+/// Canonical base names referenced by any thread-safety annotation in `f`.
+std::set<std::string> collect_annotation_refs(const SourceFile& f) {
+  static constexpr const char* kMacros[] = {
+      "PREMA_GUARDED_BY",      "PREMA_PT_GUARDED_BY", "PREMA_REQUIRES",
+      "PREMA_ACQUIRE",         "PREMA_RELEASE",       "PREMA_TRY_ACQUIRE",
+      "PREMA_EXCLUDES",        "PREMA_ASSERT_CAPABILITY",
+      "PREMA_RETURN_CAPABILITY"};
+  std::set<std::string> refs;
+  const std::string_view code = f.code;
+  for (const char* macro : kMacros) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_ident(code, macro, from, false, true);
+      if (pos == std::string_view::npos) break;
+      from = pos + 1;
+      const std::size_t open = code.find('(', pos);
+      const std::size_t close = matching_paren(code, open);
+      if (close == std::string_view::npos) continue;
+      for (const std::string& arg :
+           split_args(code.substr(open + 1, close - open - 1))) {
+        const std::string base = lock_base_name(arg);
+        if (!base.empty()) refs.insert(base);
+      }
+    }
+  }
+  return refs;
+}
+
+}  // namespace
+
+void pass_lock_order(const Tree& tree, const Options& opts, Findings& out) {
+  const std::vector<LockEntry> entries = parse_hierarchy(opts.hierarchy_text);
+  const bool have_hierarchy = !entries.empty();
+
+  // name -> successors, over canonical entry names (unresolved locks keep
+  // their base name so cycles are still visible without a hierarchy).
+  std::map<std::string, std::set<std::string>> graph;
+
+  for (const SourceFile& f : tree.files) {
+    const std::vector<Acquisition> events = collect_acquisitions(f);
+    std::vector<Hold> held;
+    int depth = 0;
+    std::size_t ev = 0;
+    const std::string_view code = f.code;
+    for (std::size_t p = 0; p <= code.size(); ++p) {
+      const bool at_open = p < code.size() && code[p] == '{';
+      if (p < code.size() && code[p] == '}') {
+        while (!held.empty() && held.back().depth >= depth) held.pop_back();
+        --depth;
+      }
+      if (at_open) ++depth;
+      while (ev < events.size() && events[ev].pos == p) {
+        const Acquisition& a = events[ev++];
+        if (a.at_open_brace && !at_open) continue;  // defensive: must be a '{'
+        const int entry = resolve(entries, f.rel, a.base);
+        const std::string name = entry >= 0 ? entries[entry].name : a.base;
+        const int line = line_of(code, a.pos);
+        if (entry < 0 && have_hierarchy && !a.at_open_brace) {
+          out.push_back({"lock-unlisted", f.rel, line,
+                         "lock acquisition '" + a.base +
+                             "' matches no lock_hierarchy.txt entry"});
+        }
+        for (const Hold& h : held) {
+          const std::string held_name =
+              h.entry >= 0 ? entries[static_cast<std::size_t>(h.entry)].name : h.base;
+          const bool same = held_name == name;
+          const bool recursive_ok =
+              same && entry >= 0 && entries[static_cast<std::size_t>(entry)].recursive;
+          if (!same || !recursive_ok) graph[held_name].insert(name);
+          if (entry >= 0 && h.entry >= 0) {
+            if (same && !recursive_ok) {
+              out.push_back({"lock-order", f.rel, line,
+                             "lock '" + name +
+                                 "' re-acquired while held but not marked "
+                                 "recursive in lock_hierarchy.txt"});
+            } else if (!same && entry <= h.entry) {
+              out.push_back({"lock-order", f.rel, line,
+                             "acquires '" + name + "' while holding '" + held_name +
+                                 "', inverting the lock hierarchy (" + name +
+                                 " is ordered above " + held_name + ")"});
+            }
+          }
+        }
+        held.push_back({entry, a.base, depth});
+      }
+    }
+  }
+
+  // Cycle search over the accumulated graph (DFS, deterministic order).
+  std::set<std::string> reported;
+  std::map<std::string, int> state;  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  auto dfs = [&](auto&& self, const std::string& node) -> void {
+    state[node] = 1;
+    stack.push_back(node);
+    if (const auto it = graph.find(node); it != graph.end()) {
+      for (const std::string& next : it->second) {
+        if (state[next] == 1) {
+          std::string cycle = next;
+          for (auto sit = std::next(std::find(stack.begin(), stack.end(), next));
+               sit != stack.end(); ++sit) {
+            cycle += " -> " + *sit;
+          }
+          cycle += " -> " + next;
+          if (reported.insert(cycle).second) {
+            out.push_back({"lock-order", "<graph>", 0,
+                           "lock acquisition cycle (potential deadlock): " + cycle});
+          }
+        } else if (state[next] == 0) {
+          self(self, next);
+        }
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+  };
+  for (const auto& [node, succs] : graph) {
+    if (state[node] == 0) dfs(dfs, node);
+  }
+
+  // GUARDED_BY coverage + hierarchy membership of every declared mutex.
+  for (const SourceFile& f : tree.files) {
+    const auto decls = collect_mutex_decls(f);
+    if (decls.empty()) continue;
+    const auto refs = collect_annotation_refs(f);
+    for (const DeclaredMutex& d : decls) {
+      if (have_hierarchy && resolve(entries, d.rel, d.name) < 0) {
+        out.push_back({"lock-unlisted", d.rel, d.line,
+                       "mutex '" + d.name +
+                           "' is not listed in lock_hierarchy.txt"});
+      }
+      if (refs.find(d.name) == refs.end()) {
+        out.push_back({"lock-unguarded", d.rel, d.line,
+                       "mutex '" + d.name +
+                           "' is never referenced by a thread-safety annotation "
+                           "(PREMA_GUARDED_BY / PREMA_REQUIRES / PREMA_ACQUIRE)"});
+      }
+    }
+  }
+
+  // Hierarchy entries must appear in DESIGN.md's prose hierarchy.
+  if (have_hierarchy && !opts.design_text.empty()) {
+    for (const LockEntry& e : entries) {
+      if (opts.design_text.find(e.name) == std::string::npos) {
+        out.push_back({"lock-hierarchy-drift", "DESIGN.md", 0,
+                       "hierarchy entry '" + e.name +
+                           "' is not mentioned in DESIGN.md's lock hierarchy"});
+      }
+    }
+  }
+}
+
+}  // namespace prema::analyze

@@ -1,0 +1,174 @@
+// Protocol-completeness analysis. The wire protocol's source of truth is
+// the PREMA_WIRE_HANDLERS X-macro in src/dmcs/message.hpp: one entry per
+// cross-processor active-message handler name. This pass cross-checks it
+// against reality:
+//
+//  - every manifest entry must be registered somewhere
+//    (HandlerRegistry::add / Machine::registry().add with that name)      -> protocol-unregistered
+//  - every dotted-name registration must appear in the manifest           -> protocol-unknown-handler
+//  - no wire name may be registered twice (the registry aborts at
+//    runtime; this catches it statically)                                 -> protocol-duplicate
+//  - every manifest entry needs a display label in the trace table
+//    (PREMA_WIRE_LABELS in src/trace/wire_names.hpp), and the table may
+//    not carry labels for names the manifest dropped                      -> protocol-untraced /
+//                                                                            protocol-stale-label
+//
+// Registrations are recognized as member calls `.add("x.y", ...)` whose
+// first argument is a dotted string — the naming convention every wire
+// handler in the tree follows ("mol.route", "prema.term", ...).
+
+#include <map>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+namespace {
+
+constexpr const char* kManifestFile = "dmcs/message.hpp";
+constexpr const char* kManifestMacro = "PREMA_WIRE_HANDLERS";
+constexpr const char* kLabelsFile = "trace/wire_names.hpp";
+constexpr const char* kLabelsMacro = "PREMA_WIRE_LABELS";
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Parse the `X(sym, "name")` (or `X("name", "label")`) entries of an
+/// X-macro list. Returns name -> line of first occurrence; for the labels
+/// form, the *first* string argument is the key.
+std::map<std::string, int> parse_xmacro(const SourceFile& f,
+                                        std::string_view macro_name) {
+  std::map<std::string, int> out;
+  const std::size_t def = f.code.find("#define " + std::string(macro_name));
+  if (def == std::string::npos) return out;
+  // The macro body is the run of backslash-continued lines from the define.
+  std::size_t end = def;
+  while (end < f.code.size()) {
+    const std::size_t eol = f.code.find('\n', end);
+    if (eol == std::string::npos) {
+      end = f.code.size();
+      break;
+    }
+    std::size_t last = eol;
+    while (last > end && (f.code[last - 1] == ' ' || f.code[last - 1] == '\r')) {
+      --last;
+    }
+    if (last == end || f.code[last - 1] != '\\') {
+      end = eol;
+      break;
+    }
+    end = eol + 1;
+  }
+  std::size_t from = def;
+  while (true) {
+    const std::size_t pos = find_ident(f.code, "X", from, false, true);
+    if (pos == std::string_view::npos || pos >= end) break;
+    from = pos + 1;
+    const std::size_t open = f.code.find('(', pos);
+    if (open == std::string::npos || open >= end) break;
+    // The name is the first string literal between the parens (entries of
+    // the handlers form are `X(kSym, "name")`; of the labels form,
+    // `X("name", "label")` — either way the first quoted string is the name).
+    const std::size_t close = matching_paren(f.code, open);
+    if (close == std::string_view::npos) continue;
+    std::size_t q = f.raw.find('"', open);
+    if (q == std::string::npos || q >= close) continue;
+    std::string name;
+    for (++q; q < f.raw.size() && f.raw[q] != '"'; ++q) name.push_back(f.raw[q]);
+    if (!name.empty() && out.find(name) == out.end()) {
+      out.emplace(name, line_of(f.code, pos));
+    }
+  }
+  return out;
+}
+
+struct Registration {
+  std::string rel;
+  int line = 0;
+};
+
+}  // namespace
+
+void pass_protocol(const Tree& tree, const Options&, Findings& out) {
+  const SourceFile* manifest_file = nullptr;
+  const SourceFile* labels_file = nullptr;
+  for (const SourceFile& f : tree.files) {
+    if (ends_with(f.rel, kManifestFile)) manifest_file = &f;
+    if (ends_with(f.rel, kLabelsFile)) labels_file = &f;
+  }
+  // No manifest, nothing to check (fixture trees without protocol files).
+  if (manifest_file == nullptr) return;
+
+  const std::map<std::string, int> manifest =
+      parse_xmacro(*manifest_file, kManifestMacro);
+  if (manifest.empty()) {
+    out.push_back({"protocol-unregistered", manifest_file->rel, 1,
+                   std::string("no ") + kManifestMacro +
+                       " manifest found in " + kManifestFile});
+    return;
+  }
+
+  // Registrations: member calls `.add("dotted.name", ...)` anywhere.
+  std::map<std::string, std::vector<Registration>> registrations;
+  for (const SourceFile& f : tree.files) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_member_call(f.code, "add", from);
+      if (pos == std::string_view::npos) break;
+      from = pos + 1;
+      const std::size_t open = f.code.find('(', pos);
+      const auto name = call_string_arg(f, open);
+      if (!name || name->find('.') == std::string::npos) continue;
+      registrations[*name].push_back({f.rel, line_of(f.code, pos)});
+    }
+  }
+
+  for (const auto& [name, line] : manifest) {
+    if (registrations.find(name) == registrations.end()) {
+      out.push_back({"protocol-unregistered", manifest_file->rel, line,
+                     "wire handler '" + name +
+                         "' is in the manifest but never registered"});
+    }
+  }
+  for (const auto& [name, sites] : registrations) {
+    if (manifest.find(name) == manifest.end()) {
+      out.push_back({"protocol-unknown-handler", sites.front().rel,
+                     sites.front().line,
+                     "wire handler '" + name + "' is registered but missing from " +
+                         std::string(kManifestMacro) + " (" + kManifestFile + ")"});
+    }
+    if (sites.size() > 1) {
+      out.push_back({"protocol-duplicate", sites[1].rel, sites[1].line,
+                     "wire handler '" + name + "' is registered more than once"});
+    }
+  }
+
+  // Trace labels. The table is required once a manifest exists: deleting
+  // trace/wire_names.hpp must not silently pass.
+  if (labels_file == nullptr) {
+    out.push_back({"protocol-untraced", manifest_file->rel, 1,
+                   std::string(kLabelsFile) +
+                       " not found: wire handlers have no trace labels"});
+    return;
+  }
+  const std::map<std::string, int> labels = parse_xmacro(*labels_file, kLabelsMacro);
+  for (const auto& [name, line] : manifest) {
+    if (labels.find(name) == labels.end()) {
+      out.push_back({"protocol-untraced", labels_file->rel, 1,
+                     "wire handler '" + name + "' has no label in " +
+                         std::string(kLabelsMacro)});
+    }
+    (void)line;
+  }
+  for (const auto& [name, line] : labels) {
+    if (manifest.find(name) == manifest.end()) {
+      out.push_back({"protocol-stale-label", labels_file->rel, line,
+                     "label for '" + name +
+                         "' names a wire handler the manifest does not have"});
+    }
+  }
+}
+
+}  // namespace prema::analyze

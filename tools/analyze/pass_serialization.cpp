@@ -1,0 +1,213 @@
+// Serialization-symmetry analysis. Wire payload schemas are declared at the
+// pack/unpack sites with marker comments:
+//
+//     // wire:<name> <pack|unpack> <var>
+//
+// From each marker, the pass captures the sequence of ByteWriter/ByteReader
+// operations performed on <var> — `var.put<T>` / `var.get<T>`,
+// `var.put_bytes` / `var.get_bytes`, `var.put_string`, `var.put_vector<T>`
+// and the MOL `put_ptr(var, …)` / `get_ptr(var)` helpers — until the block
+// enclosing the marker closes. Each op normalizes to a field item ("u32",
+// "bytes", "mobileptr", …); pack and unpack sequences of the same <name>
+// must be identical, field for field, across the whole tree. Loop bodies
+// appear once on each side, so count-prefixed repeated groups compare
+// structurally.
+//
+// A marked name with only one side present is reported too: an unpaired
+// schema is how pack/unpack drift starts.
+//
+// Dispatch-tag bytes read *before* a switch are framing, not schema — the
+// convention is to place the marker after the tag is written/consumed, so
+// the marked sequences cover exactly the tagged body (see DESIGN.md).
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+namespace {
+
+struct Capture {
+  std::string rel;
+  int line = 0;
+  bool pack = false;
+  std::vector<std::string> items;
+};
+
+/// Normalize one template argument: strip whitespace, drop a leading std::.
+std::string norm_type(std::string_view t) {
+  std::string s;
+  for (const char c : t) {
+    if (!std::isspace(static_cast<unsigned char>(c))) s.push_back(c);
+  }
+  if (s.rfind("std::", 0) == 0) s = s.substr(5);
+  return s;
+}
+
+/// Parse the marker text after "wire:" — `<name> <pack|unpack> <var>`.
+/// Returns false if malformed.
+bool parse_marker(std::string_view text, std::string& name, bool& pack,
+                  std::string& var) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (const char c : std::string(text) + " ") {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) fields.push_back(cur);
+      cur.clear();
+      if (fields.size() == 3) break;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (fields.size() != 3) return false;
+  if (fields[1] != "pack" && fields[1] != "unpack") return false;
+  name = fields[0];
+  pack = fields[1] == "pack";
+  var = fields[2];
+  return true;
+}
+
+/// True when the identifier occupying [pos, pos+len) in `code` is exactly
+/// `var` used as a standalone name.
+bool is_var_at(std::string_view code, std::size_t pos, std::string_view var) {
+  if (code.substr(pos, var.size()) != var) return false;
+  if (pos > 0 && (ident_char(code[pos - 1]) || code[pos - 1] == '.')) return false;
+  const std::size_t after = pos + var.size();
+  return after >= code.size() || !ident_char(code[after]);
+}
+
+/// Capture the op sequence for `var` from `start` until the enclosing block
+/// closes (depth drops below its level at `start`).
+std::vector<std::string> capture_ops(const SourceFile& f, std::size_t start,
+                                     const std::string& var) {
+  const std::string_view code = f.code;
+  std::vector<std::string> items;
+  int depth = 0;
+  for (std::size_t p = start; p < code.size(); ++p) {
+    const char c = code[p];
+    if (c == '{') ++depth;
+    if (c == '}') {
+      if (--depth < 0) break;  // the marker's block closed
+      continue;
+    }
+    // var.put... / var.get...
+    if (is_var_at(code, p, var)) {
+      std::size_t q = p + var.size();
+      if (q >= code.size()) break;
+      if (code[q] != '.' && !(code[q] == '-' && q + 1 < code.size() &&
+                              code[q + 1] == '>')) {
+        continue;
+      }
+      q += code[q] == '.' ? 1 : 2;
+      std::size_t m = q;
+      while (m < code.size() && ident_char(code[m])) ++m;
+      const std::string_view method = code.substr(q, m - q);
+      if (method == "put_bytes" || method == "get_bytes") {
+        items.push_back("bytes");
+      } else if (method == "put_string" || method == "get_string") {
+        items.push_back("string");
+      } else if (method == "put" || method == "get" || method == "put_vector" ||
+                 method == "get_vector") {
+        const std::size_t lt = skip_ws(code, m);
+        if (lt >= code.size() || code[lt] != '<') continue;
+        int tdepth = 0;
+        std::size_t gt = lt;
+        for (; gt < code.size(); ++gt) {
+          if (code[gt] == '<') ++tdepth;
+          if (code[gt] == '>' && --tdepth == 0) break;
+        }
+        if (gt >= code.size()) continue;
+        const std::string t = norm_type(code.substr(lt + 1, gt - lt - 1));
+        items.push_back(method == "put" || method == "get"
+                            ? t
+                            : "vector<" + t + ">");
+      }
+      p = m - 1;
+      continue;
+    }
+    // put_ptr(var, ...) / get_ptr(var)
+    if ((code.compare(p, 8, "put_ptr(") == 0 || code.compare(p, 8, "get_ptr(") == 0) &&
+        (p == 0 || (!ident_char(code[p - 1]) && code[p - 1] != '.' &&
+                    code[p - 1] != '>'))) {
+      const std::size_t arg = skip_ws(code, p + 8);
+      if (is_var_at(code, arg, var)) items.push_back("mobileptr");
+      p += 7;
+      continue;
+    }
+  }
+  return items;
+}
+
+std::string joined(const std::vector<std::string>& items) {
+  std::string s;
+  for (const auto& it : items) {
+    if (!s.empty()) s += ", ";
+    s += it;
+  }
+  return s.empty() ? "<empty>" : s;
+}
+
+}  // namespace
+
+void pass_serialization(const Tree& tree, const Options&, Findings& out) {
+  std::map<std::string, std::vector<Capture>> schemas;
+  for (const SourceFile& f : tree.files) {
+    std::size_t from = 0;
+    while (true) {
+      // Markers live in comments, so search the raw text.
+      const std::size_t pos = f.raw.find("// wire:", from);
+      if (pos == std::string::npos) break;
+      const std::size_t eol = std::min(f.raw.find('\n', pos), f.raw.size());
+      from = eol;
+      std::string name;
+      std::string var;
+      bool pack = false;
+      if (!parse_marker(std::string_view(f.raw).substr(pos + 8, eol - pos - 8),
+                        name, pack, var)) {
+        out.push_back({"serialization-unpaired", f.rel, line_of(f.raw, pos),
+                       "malformed wire marker (want `// wire:<name> "
+                       "<pack|unpack> <var>`)"});
+        continue;
+      }
+      Capture cap;
+      cap.rel = f.rel;
+      cap.line = line_of(f.raw, pos);
+      cap.pack = pack;
+      cap.items = capture_ops(f, eol, var);
+      schemas[name].push_back(std::move(cap));
+    }
+  }
+
+  for (const auto& [name, caps] : schemas) {
+    const Capture* pack_ref = nullptr;
+    const Capture* unpack_ref = nullptr;
+    for (const Capture& c : caps) {
+      if (c.pack && pack_ref == nullptr) pack_ref = &c;
+      if (!c.pack && unpack_ref == nullptr) unpack_ref = &c;
+    }
+    if (pack_ref == nullptr || unpack_ref == nullptr) {
+      const Capture& have = caps.front();
+      out.push_back({"serialization-unpaired", have.rel, have.line,
+                     "wire schema '" + name + "' has " +
+                         (pack_ref ? "no unpack" : "no pack") + " side"});
+      continue;
+    }
+    // Every capture must match the canonical pack sequence.
+    for (const Capture& c : caps) {
+      if (c.items == pack_ref->items) continue;
+      std::size_t field = 0;
+      const std::size_t n = std::min(c.items.size(), pack_ref->items.size());
+      while (field < n && c.items[field] == pack_ref->items[field]) ++field;
+      out.push_back(
+          {"serialization-asymmetry", c.rel, c.line,
+           "wire schema '" + name + "': " + (c.pack ? "pack" : "unpack") +
+               " sequence [" + joined(c.items) + "] diverges from pack in " +
+               pack_ref->rel + " [" + joined(pack_ref->items) + "] at field " +
+               std::to_string(field + 1)});
+    }
+  }
+}
+
+}  // namespace prema::analyze

@@ -1,0 +1,152 @@
+// Virtual-time discipline. The runtime runs in two clock domains: virtual
+// time (sim::SimTime seconds, read through Node::now() / now_s on the
+// emulated machine) and wall-clock time (std::chrono in the real-threads
+// backend). Mixing them in arithmetic is always a bug outside
+// dmcs/thread_machine.* — where now() *is* wall time by definition — because
+// a wall-clock duration added to a virtual timestamp silently destroys the
+// determinism the paper's figures rest on.
+//
+// Dataflow-lite: a first sweep collects identifiers initialized or assigned
+// from a wall-clock source (one level of propagation); the flagging sweep
+// then reports any statement that combines a wall value (source expression
+// or tainted identifier) with a virtual-time value (a .now() call, now_s,
+// SimTime) through an arithmetic or relational operator.
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+namespace {
+
+constexpr const char* kWallMarkers[] = {
+    "steady_clock",   "system_clock", "high_resolution_clock",
+    "elapsed_s",      "seconds_between", "time_since_epoch",
+    "gettimeofday",
+};
+
+constexpr const char* kVirtualMarkers[] = {"now_s", "SimTime"};
+
+bool file_allowlisted(std::string_view rel) {
+  // The real-threads backend is the wall-clock domain; its now() returns
+  // wall seconds and mixing is definitionally impossible there.
+  return rel == "dmcs/thread_machine.hpp" || rel == "dmcs/thread_machine.cpp";
+}
+
+/// Whole-identifier occurrence check permitting member access and scope
+/// prefixes (machine_.elapsed_s() is still a wall source).
+bool contains_marker(std::string_view stmt, std::string_view marker) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t pos = stmt.find(marker, from);
+    if (pos == std::string_view::npos) return false;
+    from = pos + 1;
+    if (pos > 0 && ident_char(stmt[pos - 1])) continue;
+    const std::size_t after = pos + marker.size();
+    if (after < stmt.size() && ident_char(stmt[after])) continue;
+    return true;
+  }
+}
+
+bool contains_wall_marker(std::string_view stmt) {
+  for (const char* m : kWallMarkers) {
+    if (contains_marker(stmt, m)) return true;
+  }
+  return false;
+}
+
+/// A virtual-clock read: a member call `.now()` / `->now()`, or one of the
+/// virtual identifiers.
+bool contains_virtual_marker(std::string_view stmt) {
+  if (find_member_call(stmt, "now", 0) != std::string_view::npos) return true;
+  for (const char* m : kVirtualMarkers) {
+    if (contains_marker(stmt, m)) return true;
+  }
+  return false;
+}
+
+/// Arithmetic / relational combination present? ('->', '++', '--', template
+/// argument lists and unary context are not what we're after, but a
+/// statement already known to mix domains rarely contains those alone.)
+bool contains_arithmetic(std::string_view stmt) {
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    const char c = stmt[i];
+    const char next = i + 1 < stmt.size() ? stmt[i + 1] : '\0';
+    const char prev = i > 0 ? stmt[i - 1] : '\0';
+    if (c == '+' && next != '+' && prev != '+') return true;
+    if (c == '-' && next != '-' && next != '>' && prev != '-') return true;
+    if (c == '/') return true;
+    // '<' / '>': relational or template-argument punctuation — both count
+    // once a statement is known to mix domains. Member access ('->') and
+    // shifts do not.
+    if (c == '<' && prev != '<' && next != '<') return true;
+    if (c == '>' && prev != '-' && prev != '>' && next != '>') return true;
+  }
+  return false;
+}
+
+/// The identifier declared/assigned by a statement shaped `… name = …;`.
+std::string assigned_ident(std::string_view stmt) {
+  const std::size_t eq = stmt.find('=');
+  if (eq == std::string_view::npos || eq + 1 >= stmt.size()) return {};
+  if (stmt[eq + 1] == '=' || (eq > 0 && (stmt[eq - 1] == '!' || stmt[eq - 1] == '<' ||
+                                         stmt[eq - 1] == '>' || stmt[eq - 1] == '+' ||
+                                         stmt[eq - 1] == '-'))) {
+    return {};
+  }
+  std::size_t end = eq;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(stmt[end - 1]))) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(stmt[begin - 1])) --begin;
+  return std::string(stmt.substr(begin, end - begin));
+}
+
+/// Statement-by-statement walk: invokes `fn(stmt_begin, stmt_text)` for each
+/// ';'-terminated run within the code view.
+template <typename Fn>
+void for_each_statement(std::string_view code, Fn&& fn) {
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < code.size(); ++p) {
+    const char c = code[p];
+    if (c == ';' || c == '{' || c == '}') {
+      if (c == ';') fn(begin, code.substr(begin, p - begin));
+      begin = p + 1;
+    }
+  }
+}
+
+}  // namespace
+
+void pass_time_domain(const Tree& tree, const Options&, Findings& out) {
+  for (const SourceFile& f : tree.files) {
+    if (file_allowlisted(f.rel)) continue;
+
+    // Sweep 1: identifiers fed from a wall-clock source.
+    std::set<std::string> wall_idents;
+    for_each_statement(f.code, [&](std::size_t, std::string_view stmt) {
+      if (!contains_wall_marker(stmt)) return;
+      const std::string ident = assigned_ident(stmt);
+      if (!ident.empty()) wall_idents.insert(ident);
+    });
+
+    // Sweep 2: statements mixing the domains arithmetically.
+    for_each_statement(f.code, [&](std::size_t begin, std::string_view stmt) {
+      const bool wall = contains_wall_marker(stmt) ||
+                        std::any_of(wall_idents.begin(), wall_idents.end(),
+                                    [&](const std::string& id) {
+                                      return contains_marker(stmt, id);
+                                    });
+      if (!wall) return;
+      if (!contains_virtual_marker(stmt)) return;
+      if (!contains_arithmetic(stmt)) return;
+      out.push_back({"time-domain", f.rel, line_of(f.code, begin),
+                     "statement mixes wall-clock and virtual-time values "
+                     "(wall-domain arithmetic belongs in dmcs/thread_machine.*)"});
+    });
+  }
+}
+
+}  // namespace prema::analyze

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "analyze/core.hpp"
+
+/// \file passes.hpp
+/// The analyzer passes. Each pass is a pure function over the loaded tree:
+/// it may not touch the filesystem, so fixtures and self-tests can run it on
+/// synthetic trees.
+///
+///   conventions    the migrated prema_lint rule families (determinism,
+///                  randomness, locking, logging)
+///   lock-order     acquisition graph vs tools/analyze/lock_hierarchy.txt:
+///                  lexical nesting + PREMA_REQUIRES edges must point
+///                  strictly down the hierarchy; cycles are reported; every
+///                  declared util::Mutex must be listed and carry at least
+///                  one thread-safety annotation (GUARDED_BY coverage)
+///   protocol       the PREMA_WIRE_HANDLERS manifest (dmcs/message.hpp) vs
+///                  actual registry .add("…") registrations vs the trace
+///                  label table (trace/wire_names.hpp)
+///   serialization  `// wire:<name> <pack|unpack> <var>` marked field
+///                  sequences must agree across pack and unpack sites
+///   time-domain    statements mixing wall-clock values (steady_clock,
+///                  elapsed_s, …) with virtual-time values (now(), SimTime)
+///                  outside dmcs/thread_machine.*
+
+namespace prema::analyze {
+
+using Findings = std::vector<Finding>;
+
+void pass_conventions(const Tree& tree, const Options& opts, Findings& out);
+void pass_lock_order(const Tree& tree, const Options& opts, Findings& out);
+void pass_protocol(const Tree& tree, const Options& opts, Findings& out);
+void pass_serialization(const Tree& tree, const Options& opts, Findings& out);
+void pass_time_domain(const Tree& tree, const Options& opts, Findings& out);
+
+using PassFn = void (*)(const Tree&, const Options&, Findings&);
+
+struct PassInfo {
+  const char* name;
+  PassFn fn;
+};
+
+/// All passes, in reporting order.
+const std::vector<PassInfo>& all_passes();
+
+/// Run every pass over `tree`, appending findings in pass order.
+void run_all_passes(const Tree& tree, const Options& opts, Findings& out);
+
+// -- legacy prema_lint compatibility ----------------------------------------
+
+/// The original prema_lint scan of one in-memory file (conventions rules
+/// only), kept callable so the prema_lint alias preserves its exact CLI
+/// behavior and self-test snippets.
+void lint_content(const std::string& rel, std::string_view raw, Findings& out);
+
+/// Run the original prema_lint self-test snippets. Returns the number of
+/// failures; prints each failure to stderr.
+int legacy_self_test(std::size_t& cases_out);
+
+/// prema_analyze's own self-test: per-pass positive/negative synthetic
+/// trees plus report-layer checks. Returns a process exit code (0 = OK).
+int run_self_test();
+
+}  // namespace prema::analyze

@@ -1,0 +1,310 @@
+// prema_analyze self-test: every semantic pass must fire on a seeded
+// violation assembled from snippets and stay silent on the idiomatic legal
+// spelling of the same construct. These are the in-binary counterparts of
+// the on-disk fixtures under tools/analyze/fixtures/ — the fixtures exercise
+// the CLI end to end, these exercise the passes as library code.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze/report.hpp"
+
+namespace prema::analyze {
+namespace {
+
+struct TreeCase {
+  const char* label;
+  PassFn pass;
+  std::vector<std::pair<const char*, const char*>> files;  ///< rel -> content
+  const char* hierarchy;    ///< lock_hierarchy.txt text ("" = none)
+  const char* design;       ///< DESIGN.md text ("" = none)
+  const char* expect_rule;  ///< nullptr = expect no findings at all
+};
+
+std::vector<TreeCase> tree_cases() {
+  std::vector<TreeCase> cases;
+
+  // -- conventions (the migrated prema_lint families; the full snippet set
+  //    runs via legacy_self_test, this is just the pass-level wiring) -------
+  cases.push_back({"conventions: wall clock in library code", pass_conventions,
+                   {{"ilb/balancer.cpp",
+                     "auto t = std::chrono::steady_clock::now();"}},
+                   "", "", "determinism"});
+  cases.push_back({"conventions: wall clock allowed in thread backend",
+                   pass_conventions,
+                   {{"dmcs/thread_machine.cpp",
+                     "using Clock = std::chrono::steady_clock;"}},
+                   "", "", nullptr});
+
+  // -- lock-order ----------------------------------------------------------
+  const char* kAB = "a a_mu\nb b_mu\n";
+  cases.push_back({"lock-order: inversion against the hierarchy",
+                   pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() {\n"
+                     "  util::LockGuard g1(b_mu_);\n"
+                     "  util::LockGuard g2(a_mu_);\n"
+                     "}\n"}},
+                   kAB, "", "lock-order"});
+  cases.push_back({"lock-order: nesting down the hierarchy is legal",
+                   pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() {\n"
+                     "  util::LockGuard g1(a_mu_);\n"
+                     "  util::LockGuard g2(b_mu_);\n"
+                     "}\n"}},
+                   kAB, "", nullptr});
+  cases.push_back({"lock-order: re-acquire without recursive marking",
+                   pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() {\n"
+                     "  util::LockGuard g1(a_mu_);\n"
+                     "  { util::LockGuard g2(a_mu_); }\n"
+                     "}\n"}},
+                   "a a_mu\n", "", "lock-order"});
+  cases.push_back({"lock-order: recursive lock may re-acquire itself",
+                   pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() {\n"
+                     "  util::RecursiveLock g1(a_mu_);\n"
+                     "  { util::RecursiveLock g2(a_mu_); }\n"
+                     "}\n"}},
+                   "a a_mu recursive\n", "", nullptr});
+  cases.push_back({"lock-order: cross-file acquisition cycle", pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() { util::LockGuard g1(a_mu_); "
+                     "util::LockGuard g2(b_mu_); }\n"},
+                    {"dmcs/y.cpp",
+                     "void g() { util::LockGuard g1(b_mu_); "
+                     "util::LockGuard g2(a_mu_); }\n"}},
+                   "", "", "lock-order"});
+  cases.push_back({"lock-order: PREMA_REQUIRES hold creates an edge",
+                   pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() PREMA_REQUIRES(b_mu_) {\n"
+                     "  util::LockGuard g(a_mu_);\n"
+                     "}\n"}},
+                   kAB, "", "lock-order"});
+  cases.push_back({"lock-order: acquisition of an unlisted lock",
+                   pass_lock_order,
+                   {{"dmcs/x.cpp",
+                     "void f() { util::LockGuard g(x_mu_); }\n"}},
+                   "a a_mu\n", "", "lock-unlisted"});
+  cases.push_back({"lock-order: declared mutex without any annotation",
+                   pass_lock_order,
+                   {{"dmcs/x.hpp", "class C { util::Mutex mu_; };\n"}},
+                   "mu mu\n", "", "lock-unguarded"});
+  cases.push_back({"lock-order: GUARDED_BY satisfies coverage",
+                   pass_lock_order,
+                   {{"dmcs/x.hpp",
+                     "class C {\n"
+                     "  util::Mutex mu_;\n"
+                     "  int state_ PREMA_GUARDED_BY(mu_) = 0;\n"
+                     "};\n"}},
+                   "mu mu\n", "", nullptr});
+  cases.push_back({"lock-order: hierarchy entry missing from DESIGN.md",
+                   pass_lock_order,
+                   {},
+                   "zeta zeta_mu\n", "The design prose names no such lock.",
+                   "lock-hierarchy-drift"});
+
+  // -- protocol ------------------------------------------------------------
+  const char* kManifest =
+      "#define PREMA_WIRE_HANDLERS(X) \\\n"
+      "  X(kAOne, \"a.one\")          \\\n"
+      "  X(kATwo, \"a.two\")\n";
+  const char* kLabels =
+      "#define PREMA_WIRE_LABELS(X) \\\n"
+      "  X(\"a.one\", \"A one\")     \\\n"
+      "  X(\"a.two\", \"A two\")\n";
+  cases.push_back({"protocol: complete manifest is clean", pass_protocol,
+                   {{"dmcs/message.hpp", kManifest},
+                    {"trace/wire_names.hpp", kLabels},
+                    {"dmcs/reg.cpp",
+                     "void f(R& r) { r.add(\"a.one\", h); r.add(\"a.two\", h); }\n"}},
+                   "", "", nullptr});
+  cases.push_back({"protocol: manifest entry never registered", pass_protocol,
+                   {{"dmcs/message.hpp", kManifest},
+                    {"trace/wire_names.hpp", kLabels},
+                    {"dmcs/reg.cpp", "void f(R& r) { r.add(\"a.one\", h); }\n"}},
+                   "", "", "protocol-unregistered"});
+  cases.push_back({"protocol: registration missing from manifest", pass_protocol,
+                   {{"dmcs/message.hpp", kManifest},
+                    {"trace/wire_names.hpp", kLabels},
+                    {"dmcs/reg.cpp",
+                     "void f(R& r) { r.add(\"a.one\", h); r.add(\"a.two\", h); "
+                     "r.add(\"a.three\", h); }\n"}},
+                   "", "", "protocol-unknown-handler"});
+  cases.push_back({"protocol: double registration", pass_protocol,
+                   {{"dmcs/message.hpp", kManifest},
+                    {"trace/wire_names.hpp", kLabels},
+                    {"dmcs/reg.cpp",
+                     "void f(R& r) { r.add(\"a.one\", h); r.add(\"a.two\", h); "
+                     "r.add(\"a.one\", h); }\n"}},
+                   "", "", "protocol-duplicate"});
+  cases.push_back({"protocol: manifest entry without a trace label",
+                   pass_protocol,
+                   {{"dmcs/message.hpp", kManifest},
+                    {"trace/wire_names.hpp",
+                     "#define PREMA_WIRE_LABELS(X) \\\n"
+                     "  X(\"a.one\", \"A one\")\n"},
+                    {"dmcs/reg.cpp",
+                     "void f(R& r) { r.add(\"a.one\", h); r.add(\"a.two\", h); }\n"}},
+                   "", "", "protocol-untraced"});
+  cases.push_back({"protocol: label for a dropped handler", pass_protocol,
+                   {{"dmcs/message.hpp", kManifest},
+                    {"trace/wire_names.hpp",
+                     "#define PREMA_WIRE_LABELS(X) \\\n"
+                     "  X(\"a.one\", \"A one\")     \\\n"
+                     "  X(\"a.two\", \"A two\")     \\\n"
+                     "  X(\"a.gone\", \"A gone\")\n"},
+                    {"dmcs/reg.cpp",
+                     "void f(R& r) { r.add(\"a.one\", h); r.add(\"a.two\", h); }\n"}},
+                   "", "", "protocol-stale-label"});
+
+  // -- serialization -------------------------------------------------------
+  const char* kPack =
+      "void send(W& w) {\n"
+      "  // wire:test.msg pack w\n"
+      "  w.put<std::uint32_t>(x);\n"
+      "  w.put_bytes(b, n);\n"
+      "}\n";
+  cases.push_back({"serialization: symmetric pack/unpack is clean",
+                   pass_serialization,
+                   {{"dmcs/a.cpp", kPack},
+                    {"dmcs/b.cpp",
+                     "void recv(R& r) {\n"
+                     "  // wire:test.msg unpack r\n"
+                     "  auto x = r.get<std::uint32_t>();\n"
+                     "  r.get_bytes(n);\n"
+                     "}\n"}},
+                   "", "", nullptr});
+  cases.push_back({"serialization: field type diverges", pass_serialization,
+                   {{"dmcs/a.cpp", kPack},
+                    {"dmcs/b.cpp",
+                     "void recv(R& r) {\n"
+                     "  // wire:test.msg unpack r\n"
+                     "  auto x = r.get<std::uint64_t>();\n"
+                     "  r.get_bytes(n);\n"
+                     "}\n"}},
+                   "", "", "serialization-asymmetry"});
+  cases.push_back({"serialization: pack side without unpack",
+                   pass_serialization,
+                   {{"dmcs/a.cpp", kPack}},
+                   "", "", "serialization-unpaired"});
+  cases.push_back({"serialization: malformed marker", pass_serialization,
+                   {{"dmcs/a.cpp", "// wire:oops\nvoid f() {}\n"}},
+                   "", "", "serialization-unpaired"});
+
+  // -- time-domain ---------------------------------------------------------
+  cases.push_back({"time-domain: wall value mixed into virtual arithmetic",
+                   pass_time_domain,
+                   {{"mol/x.cpp",
+                     "void f(N* n) { double d = machine_.elapsed_s() + n->now(); }\n"}},
+                   "", "", "time-domain"});
+  cases.push_back({"time-domain: taint flows through an assignment",
+                   pass_time_domain,
+                   {{"mol/x.cpp",
+                     "void f(N* n) {\n"
+                     "  double w = machine_.elapsed_s();\n"
+                     "  double q = w + n->now();\n"
+                     "}\n"}},
+                   "", "", "time-domain"});
+  cases.push_back({"time-domain: thread backend is the wall domain",
+                   pass_time_domain,
+                   {{"dmcs/thread_machine.cpp",
+                     "void f(N* n) { double d = elapsed_s() + n->now(); }\n"}},
+                   "", "", nullptr});
+  cases.push_back({"time-domain: pure virtual-time arithmetic is clean",
+                   pass_time_domain,
+                   {{"mol/x.cpp",
+                     "void f(N* n) { double q = n->now() + 1.0; }\n"}},
+                   "", "", nullptr});
+
+  return cases;
+}
+
+bool run_tree_case(const TreeCase& c) {
+  Tree tree;
+  for (const auto& [rel, content] : c.files) {
+    tree.files.push_back(make_file(rel, content));
+  }
+  Options opts;
+  opts.hierarchy_text = c.hierarchy;
+  opts.design_text = c.design;
+  Findings out;
+  c.pass(tree, opts, out);
+
+  if (c.expect_rule == nullptr) {
+    if (out.empty()) return true;
+    std::fprintf(stderr, "self-test FAIL: %s (expected clean, got %zu)\n",
+                 c.label, out.size());
+  } else {
+    bool hit = false;
+    for (const Finding& f : out) hit = hit || f.rule == c.expect_rule;
+    if (hit) return true;
+    std::fprintf(stderr, "self-test FAIL: %s (expected rule %s, got %zu other)\n",
+                 c.label, c.expect_rule, out.size());
+  }
+  for (const Finding& f : out) {
+    std::fprintf(stderr, "  fired: %s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  return false;
+}
+
+/// Report-layer checks: baseline round-trip and SARIF shape.
+int report_checks(std::size_t& cases_out) {
+  int failures = 0;
+  const Findings sample = {{"demo-rule", "dmcs/x.cpp", 3, "a \"quoted\" message"}};
+
+  ++cases_out;
+  const auto base = parse_baseline(render_baseline(sample));
+  if (!subtract_baseline(sample, base).empty()) {
+    std::fprintf(stderr, "self-test FAIL: baseline round-trip still reports\n");
+    ++failures;
+  }
+  ++cases_out;
+  if (subtract_baseline(sample, parse_baseline("# empty\n")).size() != 1) {
+    std::fprintf(stderr, "self-test FAIL: empty baseline suppressed a finding\n");
+    ++failures;
+  }
+  ++cases_out;
+  const std::string sarif = render_sarif(sample);
+  if (sarif.find("\"ruleId\": \"demo-rule\"") == std::string::npos ||
+      sarif.find("\\\"quoted\\\"") == std::string::npos ||
+      sarif.find("premaAnalyze/v1") == std::string::npos) {
+    std::fprintf(stderr, "self-test FAIL: SARIF output malformed\n%s\n",
+                 sarif.c_str());
+    ++failures;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int run_self_test() {
+  std::size_t cases = 0;
+  int failures = 0;
+  for (const TreeCase& c : tree_cases()) {
+    ++cases;
+    if (!run_tree_case(c)) ++failures;
+  }
+  failures += report_checks(cases);
+
+  // The migrated prema_lint snippets are part of this binary's contract too.
+  std::size_t legacy_cases = 0;
+  failures += legacy_self_test(legacy_cases);
+  cases += legacy_cases;
+
+  if (failures != 0) {
+    std::fprintf(stderr, "prema_analyze --self-test: %d failure(s) out of %zu cases\n",
+                 failures, cases);
+    return 1;
+  }
+  std::printf("prema_analyze --self-test: OK (%zu cases)\n", cases);
+  return 0;
+}
+
+}  // namespace prema::analyze
