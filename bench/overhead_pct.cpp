@@ -6,15 +6,21 @@
 // The shape to reproduce: ParMETIS's synchronization bill is orders of
 // magnitude above PREMA's constant sub-0.1% overhead, and it swells when the
 // imbalance is a spike the repartitioner declines to fix.
+//
+// Flags: --json-out=<path>  also emit the table as a BENCH-style JSON report
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "bench_support/bench_json.hpp"
 #include "bench_support/synthetic.hpp"
 
 using namespace prema::bench;
 
 namespace {
 
-void one(const char* name, double heavy_fraction) {
+void one(const char* name, double heavy_fraction, BenchReport* report) {
   SyntheticConfig cfg;
   cfg.heavy_fraction = heavy_fraction;
   cfg.heavy_mflop = heavy_fraction == 0.5 ? 300.0 : 500.0;  // Fig5 / Fig4 setups
@@ -30,15 +36,48 @@ void one(const char* name, double heavy_fraction) {
                 name, srp.sync_pct,
                 100.0 * srp.partition_total / srp.comp_total, prema.overhead_pct);
   std::cout << buf;
+  if (report != nullptr) {
+    JsonWriter& jw = report->json();
+    jw.begin_object();
+    jw.field("workload", name);
+    jw.field("heavy_fraction", heavy_fraction);
+    jw.field("srp_sync_pct", srp.sync_pct);
+    jw.field("srp_partition_pct", 100.0 * srp.partition_total / srp.comp_total);
+    jw.field("prema_overhead_pct", prema.overhead_pct);
+    jw.end_object();
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n"
+                << "usage: " << argv[0] << " [--json-out=<path>]\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<BenchReport> report;
+  if (!json_out.empty()) {
+    report = std::make_unique<BenchReport>(
+        json_out, "overhead_pct",
+        "runtime overhead as % of useful computation (paper section 5)");
+    if (!report->ok()) {
+      std::cerr << "cannot open " << json_out << " for writing\n";
+      return 1;
+    }
+    report->begin_runs();
+  }
+
   std::cout << "Runtime overhead as % of useful computation (paper §5)\n"
             << "paper: ParMETIS 7.4% (Fig 5d) -> 29.9% (Fig 4d); PREMA 0.045% /"
                " 0.029%\n\n";
-  one("Figure 5 workload (50% heavy, 1.2x)", 0.5);
-  one("Figure 4 workload (10% heavy, 2.0x)", 0.1);
+  one("Figure 5 workload (50% heavy, 1.2x)", 0.5, report.get());
+  one("Figure 4 workload (10% heavy, 2.0x)", 0.1, report.get());
   return 0;
 }

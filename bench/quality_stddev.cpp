@@ -5,13 +5,43 @@
 //  with explicit load balancing ... performed comparably with standard
 //  deviations of 128 and 100."
 // Measured on the Figure 4 workload (10% heavy, 2x weight).
+//
+// Flags: --json-out=<path>  also emit the table as a BENCH-style JSON report
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "bench_support/bench_json.hpp"
 #include "bench_support/synthetic.hpp"
 
 using namespace prema::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n"
+                << "usage: " << argv[0] << " [--json-out=<path>]\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<BenchReport> report;
+  if (!json_out.empty()) {
+    report = std::make_unique<BenchReport>(
+        json_out, "quality_stddev",
+        "load-distribution quality: stddev of per-processor computation time"
+        " (Fig. 4 workload)");
+    if (!report->ok()) {
+      std::cerr << "cannot open " << json_out << " for writing\n";
+      return 1;
+    }
+    report->begin_runs();
+  }
+
   SyntheticConfig cfg;
   cfg.heavy_fraction = 0.1;
   cfg.heavy_mflop = 500.0;
@@ -27,6 +57,15 @@ int main() {
     std::snprintf(buf, sizeof buf, "  %-40s stddev %8.2f s   (makespan %7.1f s)\n",
                   r.label.c_str(), r.comp_stddev, r.makespan);
     std::cout << buf;
+    if (report) {
+      JsonWriter& jw = report->json();
+      jw.begin_object();
+      jw.field("system", r.label);
+      jw.field("comp_stddev_s", r.comp_stddev);
+      jw.field("makespan_s", r.makespan);
+      jw.field("migrations", r.migrations);
+      jw.end_object();
+    }
   }
   return 0;
 }

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// \file bench_json.hpp
+/// Shared JSON emission for every bench binary (BENCH_*.json files and
+/// --json-out flags). One writer, one number format, so benchmark output is
+/// machine-readable and diffable: two runs that measured the same numbers
+/// emit byte-identical files regardless of which binary wrote them.
+///
+/// Deliberately minimal — objects, arrays, scalar fields, streaming only
+/// (no DOM). The writer tracks nesting and comma placement; keys and
+/// structure are the caller's responsibility to match up, with a depth check
+/// at destruction catching unbalanced begin/end in debug runs.
+
+namespace prema::bench {
+
+class JsonWriter {
+ public:
+  /// Writes to `os` as begin/end/field calls come in. Indented two spaces
+  /// per level; fields emit as `"key": value`.
+  explicit JsonWriter(std::ostream& os);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // -- structure ------------------------------------------------------------
+  /// Open an object/array. `key` is required inside an object and must be
+  /// null at the top level and inside arrays.
+  void begin_object(const char* key = nullptr);
+  void end_object();
+  void begin_array(const char* key = nullptr);
+  void end_array();
+
+  // -- scalar fields (inside an object) ------------------------------------
+  void field(const char* key, double v);
+  void field(const char* key, std::uint64_t v);
+  void field(const char* key, std::int64_t v);
+  void field(const char* key, int v);
+  void field(const char* key, bool v);
+  void field(const char* key, const std::string& v);
+  void field(const char* key, const char* v);
+
+  // -- scalar elements (inside an array) ------------------------------------
+  void element(double v);
+  void element(std::uint64_t v);
+  void element(const std::string& v);
+
+  /// Shortest decimal form that round-trips a double ("%.17g with trailing
+  /// precision trimmed"); shared so hand-rolled emitters match the writer.
+  static std::string format_double(double v);
+
+ private:
+  void separator(const char* key);
+
+  std::ostream& os_;
+  /// One char per open scope: '{' or '['; parallel flag = "wrote a child".
+  std::vector<char> stack_;
+  std::vector<bool> has_child_;
+};
+
+/// The envelope every BENCH_*.json shares: a top-level object carrying
+/// "benchmark" and "description", optional extra scalar fields, and a "runs"
+/// array of per-scenario objects. Construction opens the file and writes the
+/// header; destruction closes whatever is open — so a bench binary is just
+///
+///   BenchReport report(path, "name", "what it measures");
+///   report.json().field("extra", value);       // optional header fields
+///   report.begin_runs();
+///   for (...) { report.json().begin_object(); ... }
+class BenchReport {
+ public:
+  BenchReport(const std::string& path, const char* benchmark,
+              const char* description);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// False if the output file could not be opened.
+  [[nodiscard]] bool ok() const { return static_cast<bool>(os_); }
+
+  /// The writer, positioned inside the top-level object (or, after
+  /// begin_runs(), inside the "runs" array).
+  [[nodiscard]] JsonWriter& json() { return jw_; }
+
+  /// Open the "runs" array. Call once, after any extra header fields.
+  void begin_runs();
+
+ private:
+  std::ofstream os_;
+  JsonWriter jw_;
+  bool runs_open_ = false;
+};
+
+}  // namespace prema::bench

@@ -84,6 +84,8 @@ struct Message {
   X(kSrpAssign, "srp.assign")              \
   X(kSrpMigdone, "srp.migdone")            \
   X(kSrpResume, "srp.resume")              \
-  X(kSrpCompleted, "srp.completed")
+  X(kSrpCompleted, "srp.completed")        \
+  X(kServiceArrival, "service.arrival")    \
+  X(kServiceEpoch, "service.epoch")
 
 }  // namespace prema::dmcs

@@ -59,14 +59,27 @@ FaultProfile make_fault_profile(const std::string& name) {
     p.link_overrides[{1, kNoProc}] = lossy;  // every link *out of* node 1
     return p;
   }
+  if (name == "mid-pause") {
+    // Elasticity scenario for service mode (EXPERIMENTS.md "Service mode"):
+    // node 1 leaves the machine for the middle fifth of a half-second run —
+    // a one-shot 100 ms arrival stall starting at 150 ms, plus a 2x compute
+    // slowdown so it re-joins as a weaker node. No link faults: the capacity
+    // change itself is the event the balancer must route around.
+    NodeFaults pause;
+    pause.slowdown_factor = 2.0;
+    pause.pause_start_s = 0.15;
+    pause.pause_len_s = 0.1;
+    p.node_overrides[1] = pause;
+    return p;
+  }
   PREMA_CHECK_MSG(false, "unknown fault profile (try none, lossy1pct, "
-                         "burst-reorder, one-slow-node)");
+                         "burst-reorder, one-slow-node, mid-pause)");
   return p;
 }
 
 bool is_fault_profile(const std::string& name) {
   return name == "none" || name == "lossy1pct" || name == "burst-reorder" ||
-         name == "one-slow-node";
+         name == "one-slow-node" || name == "mid-pause";
 }
 
 FaultPlan::FaultPlan(FaultProfile profile, std::uint64_t seed, int nprocs)

@@ -77,8 +77,9 @@ struct FaultProfile {
   [[nodiscard]] bool any() const;
 };
 
-/// Canned profiles: "none", "lossy1pct", "burst-reorder", "one-slow-node"
-/// (see EXPERIMENTS.md "Fault injection"). Aborts on an unknown name.
+/// Canned profiles: "none", "lossy1pct", "burst-reorder", "one-slow-node",
+/// "mid-pause" (see EXPERIMENTS.md "Fault injection" and "Service mode").
+/// Aborts on an unknown name.
 FaultProfile make_fault_profile(const std::string& name);
 [[nodiscard]] bool is_fault_profile(const std::string& name);
 

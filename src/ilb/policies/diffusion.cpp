@@ -35,12 +35,13 @@ void DiffusionPolicy::on_poll(PolicyContext& ctx) {
 
 void DiffusionPolicy::announce_if_changed(PolicyContext& ctx) {
   const double load = ctx.local_load();
-  if (last_announced_ >= 0.0) {
+  if (announced_) {
     const double delta = std::abs(load - last_announced_);
     const double floor =
         std::max(params_.min_gap, params_.announce_hysteresis * last_announced_);
     if (delta < floor) return;
   }
+  announced_ = true;
   last_announced_ = load;
   ByteWriter w;
   w.put<double>(load);
@@ -60,7 +61,11 @@ void DiffusionPolicy::push_towards(PolicyContext& ctx, ProcId neighbor) {
   double moved = 0.0;
   for (const auto& obj : objects) {
     if (moved + obj.weight > quota && moved > 0.0) break;
-    if (moved + obj.weight > gap) break;  // never invert the imbalance
+    // Never move more than half the gap: shifting weight w changes the gap
+    // by 2w, so anything past gap/2 *inverts* the imbalance and the object
+    // ping-pongs between the two neighbours forever (each sees the other as
+    // overloaded in turn). Coarse objects that would overshoot stay put.
+    if (2.0 * (moved + obj.weight) > gap) break;
     ctx.migrate_object(obj.ptr, neighbor);
     moved += obj.weight;
   }

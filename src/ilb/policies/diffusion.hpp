@@ -44,7 +44,11 @@ class DiffusionPolicy final : public Policy {
   DiffusionParams params_;
   std::vector<ProcId> neighbors_;
   std::unordered_map<ProcId, double> neighbor_load_;
-  double last_announced_ = -1.0;
+  /// Explicit first-announcement flag: the load itself is not a usable
+  /// sentinel, since accumulated-weight arithmetic can legitimately settle
+  /// at (or drift near) zero.
+  bool announced_ = false;
+  double last_announced_ = 0.0;
 };
 
 }  // namespace prema::ilb

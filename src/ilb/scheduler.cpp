@@ -33,6 +33,7 @@ std::optional<mol::Delivery> Scheduler::pick() {
   it->second.pop_front();
   --total_units_;
   total_weight_ -= d.weight;
+  settle_weight();
   if (it->second.empty()) {
     per_object_.erase(it);
   } else {
@@ -60,6 +61,7 @@ std::vector<mol::Delivery> Scheduler::take_queued(const mol::MobilePtr& ptr) {
     --total_units_;
     total_weight_ -= d.weight;
   }
+  settle_weight();
   per_object_.erase(it);
   ready_.erase(std::remove(ready_.begin(), ready_.end(), ptr), ready_.end());
   return out;

@@ -59,6 +59,19 @@ class Scheduler {
   }
 
  private:
+  /// Re-anchor the weight aggregate after removals: summing arbitrary
+  /// application weights in and out leaves floating-point residue, and a
+  /// drained queue must report *exactly* zero load — policies compare loads
+  /// against watermarks and sentinels, and a stray -1e-16 reads as "below
+  /// every threshold" or, worse, as a negative load.
+  void settle_weight() {
+    if (total_units_ == 0) {
+      total_weight_ = 0.0;
+    } else if (total_weight_ < 0.0) {
+      total_weight_ = 0.0;
+    }
+  }
+
   std::unordered_map<mol::MobilePtr, std::deque<mol::Delivery>> per_object_;
   std::deque<mol::MobilePtr> ready_;  ///< each object with queued units, once
   std::size_t total_units_ = 0;

@@ -1,5 +1,6 @@
 #include "prema/runtime.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "ilb/policy.hpp"
@@ -59,6 +60,12 @@ struct Runtime::NodeRt {
   /// Activity since the last idle report.
   bool did_work PREMA_GUARDED_BY(node->state_mutex()) = true;
 
+  /// Service mode only: this rank's arrival stream (null otherwise). Created
+  /// in run_service before the workers start; the stream state is advanced
+  /// only from service handlers, which hold the node's state lock.
+  std::unique_ptr<service::ArrivalGenerator> arrivals
+      PREMA_GUARDED_BY(node->state_mutex());
+
   /// Tell the analysis the node's state lock is held. Used where the lock
   /// was demonstrably taken through an alias the analysis cannot connect to
   /// this struct's guard expression (see struct comment).
@@ -105,6 +112,7 @@ class Runtime::NodeProgram final : public dmcs::Program {
   void main(dmcs::Node&) override {
     node_.balancer->init();
     if (rt_.main_) rt_.main_(node_.ctx);
+    if (rt_.svc_) rt_.service_start(node_);
   }
 
   bool service(dmcs::Node& n) override {
@@ -157,6 +165,19 @@ Runtime::Runtime(dmcs::Machine& machine, RuntimeConfig cfg)
     auto g = n.lock_state();
     term_on_wire(rt(n.rank()), std::move(m));
   });
+  // Service-mode timer handlers (empty payloads; the handler id itself is
+  // the message). Registered unconditionally so the wire manifest holds in
+  // run-to-quiescence builds too; they only ever fire under run_service.
+  svc_arrival_h_ =
+      machine_.registry().add("service.arrival", [this](dmcs::Node& n, Message&&) {
+        auto g = n.lock_state();
+        service_on_arrival(rt(n.rank()));
+      });
+  svc_epoch_h_ =
+      machine_.registry().add("service.epoch", [this](dmcs::Node& n, Message&&) {
+        auto g = n.lock_state();
+        service_on_epoch(rt(n.rank()));
+      });
 
   // Construction is single-threaded (no workers yet); the assert only tells
   // the thread-safety analysis so.
@@ -270,6 +291,78 @@ double Runtime::run() {
   });
 }
 
+double Runtime::run_service(ServiceConfig svc) {
+  PREMA_CHECK_MSG(!ran_, "Runtime::run_service may only be called once");
+  PREMA_CHECK_MSG(svc.duration_s > 0.0 && svc.epoch_s > 0.0,
+                  "service mode needs positive duration and epoch");
+  PREMA_CHECK_MSG(static_cast<bool>(svc.on_arrival),
+                  "service mode needs an on_arrival sink");
+  svc_ = std::make_unique<ServiceConfig>(std::move(svc));
+  for (ProcId p = 0; p < machine_.nprocs(); ++p) {
+    NodeRt& r = rt(p);
+    // Pre-run is single-threaded (no workers yet); the assert only tells the
+    // thread-safety analysis so, matching the ctor's assert_coord_held.
+    r.assert_state_held();
+    r.arrivals = std::make_unique<service::ArrivalGenerator>(
+        svc_->arrivals, p, machine_.nprocs());
+  }
+  return run();
+}
+
+// ---------------------------------------------------------------------------
+// Service mode: open-loop arrivals on self-addressed timers, balancer polls
+// on an epoch cadence. Timer messages are internal (outside the termination
+// counts); the work they inject is ordinary application traffic. Quiescence
+// is gated on the clock in term_on_idle, so the Mattern waves cannot conclude
+// — and cancel the pending timers — during an arrival lull inside the window.
+// ---------------------------------------------------------------------------
+
+void Runtime::service_start(NodeRt& r) {
+  auto g = r.node->lock_state();
+  r.assert_state_held();
+  const double now = r.node->now();
+  const double gap = r.arrivals->next_gap(now);
+  if (now + gap < svc_->duration_s) {
+    r.node->send_self_after(
+        gap, Message{svc_arrival_h_, r.node->rank(), MsgKind::kSystem, {}});
+  }
+  // First epoch tick; the final one is clamped to land exactly on the
+  // deadline so every rank's clock provably crosses it (see term_on_idle).
+  r.node->send_self_after(
+      std::min(svc_->epoch_s, svc_->duration_s),
+      Message{svc_epoch_h_, r.node->rank(), MsgKind::kSystem, {}});
+}
+
+void Runtime::service_on_arrival(NodeRt& r) {
+  r.assert_state_held();  // handler thunk takes the node's state lock
+  const double t = r.node->now();
+  const service::Arrival a = r.arrivals->next_arrival();
+  if (auto* ts = r.node->trace()) ts->service_arrival(t, a.client, a.cost_mflop);
+  if (svc_->ledger) svc_->ledger->at(r.node->rank()).record_arrival(t);
+  svc_->on_arrival(r.ctx, a);
+  r.did_work = true;
+  const double gap = r.arrivals->next_gap(t);
+  if (t + gap < svc_->duration_s) {
+    r.node->send_self_after(
+        gap, Message{svc_arrival_h_, r.node->rank(), MsgKind::kSystem, {}});
+  }
+}
+
+void Runtime::service_on_epoch(NodeRt& r) {
+  r.assert_state_held();  // handler thunk takes the node's state lock
+  const double t = r.node->now();
+  r.balancer->poll();
+  const double load = r.sched.load(r.balancer->config().use_weight);
+  if (auto* ts = r.node->trace()) ts->service_epoch(t, load);
+  if (svc_->ledger) svc_->ledger->at(r.node->rank()).sample_load(t, load);
+  const double remaining = svc_->duration_s - t;
+  if (remaining > 1e-9) {
+    r.node->send_self_after(
+        std::min(svc_->epoch_s, remaining),
+        Message{svc_epoch_h_, r.node->rank(), MsgKind::kSystem, {}});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Quiescence detection: counting waves (Mattern). Nodes report their
 // (sent, received) message counts — net of detector traffic — whenever they
@@ -288,6 +381,12 @@ void Runtime::term_send(ProcId from, ProcId to, std::vector<std::uint8_t> payloa
 
 void Runtime::term_on_idle(NodeRt& r) {
   r.assert_state_held();  // reached from on_idle / handlers, lock held
+  // Service mode: hold all idle reports until this rank's clock passes the
+  // injection deadline. No wave can start before every rank has reported, so
+  // quiescence cannot be declared — and the pending arrival/epoch timers
+  // cannot be cancelled — during a lull inside the service window. The
+  // clamped final epoch tick guarantees the clock does reach the deadline.
+  if (svc_ && r.node->now() < svc_->duration_s) return;
   const auto sent = static_cast<std::int64_t>(r.eff_sent());
   const auto recv = static_cast<std::int64_t>(r.eff_recv());
   if (!r.did_work && sent == r.reported_sent && recv == r.reported_recv) return;

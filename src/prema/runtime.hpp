@@ -9,6 +9,8 @@
 #include "ilb/balancer.hpp"
 #include "ilb/scheduler.hpp"
 #include "mol/mol.hpp"
+#include "service/arrivals.hpp"
+#include "service/ledger.hpp"
 
 /// \file runtime.hpp
 /// PREMA: the Parallel Runtime Environment for Multicomputer Applications —
@@ -88,6 +90,30 @@ struct RuntimeConfig {
   trace::TraceConfig trace;
 };
 
+/// Open-loop service mode (run_service): instead of seeding all work in
+/// main() and running to quiescence, each rank owns a deterministic arrival
+/// generator whose stream injects requests for `duration_s` of machine time
+/// while the balancer rebalances on an `epoch_s` cadence. Termination
+/// detection is held off until every clock passes the deadline, then the
+/// normal Mattern waves drain the tail and end the run.
+struct ServiceConfig {
+  /// Arrival injection window, seconds of machine time. No arrival fires at
+  /// or after the deadline; in-flight work then drains to quiescence.
+  double duration_s = 1.0;
+  /// Rebalancing cadence: every epoch each rank polls its balancer and
+  /// samples its load, independent of whether its queue ran dry.
+  double epoch_s = 50e-3;
+  service::ArrivalConfig arrivals;
+  /// Application sink for each generated request: typically hashes
+  /// `a.client` to a mobile object and sends it a message carrying the
+  /// arrival timestamp and cost. Runs on the arrival rank, lock held.
+  std::function<void(Context&, const service::Arrival&)> on_arrival;
+  /// Optional latency ledger; when set, arrivals and epoch load samples are
+  /// recorded per rank (completions are the application's to record, since
+  /// only it knows when a request's handler ran).
+  service::ServiceLedger* ledger = nullptr;
+};
+
 class Runtime {
  public:
   explicit Runtime(dmcs::Machine& machine, RuntimeConfig cfg = {});
@@ -107,6 +133,10 @@ class Runtime {
 
   /// Execute to quiescence; returns the makespan in seconds.
   double run();
+
+  /// Execute in open-loop service mode (see ServiceConfig); returns the
+  /// makespan in seconds (injection window plus drain tail).
+  double run_service(ServiceConfig svc);
 
   // -- post-run / introspection -------------------------------------------
   [[nodiscard]] dmcs::Machine& machine() { return machine_; }
@@ -141,6 +171,11 @@ class Runtime {
   void term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent,
                        std::uint64_t recv, bool idle);
 
+  // Service mode (open-loop arrivals + epoch cadence).
+  void service_start(NodeRt& r);
+  void service_on_arrival(NodeRt& r);
+  void service_on_epoch(NodeRt& r);
+
   void exec_wrapper(dmcs::Node& n, dmcs::Message&& msg);
   NodeRt& rt(ProcId p);
 
@@ -158,6 +193,12 @@ class Runtime {
   dmcs::HandlerId exec_h_ = dmcs::kNoHandler;
   dmcs::HandlerId policy_h_ = dmcs::kNoHandler;
   dmcs::HandlerId term_h_ = dmcs::kNoHandler;
+  dmcs::HandlerId svc_arrival_h_ = dmcs::kNoHandler;
+  dmcs::HandlerId svc_epoch_h_ = dmcs::kNoHandler;
+
+  /// Set by run_service before the workers start, then read-only for the
+  /// whole run; null in run-to-quiescence mode.
+  std::unique_ptr<ServiceConfig> svc_;
 
   /// The capability guarding all coordinator-side termination state: the
   /// detector runs entirely inside rank 0's message handlers / idle hook, so

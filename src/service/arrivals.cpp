@@ -1,0 +1,135 @@
+#include "service/arrivals.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace prema::service {
+
+std::string_view arrival_model_name(ArrivalModel m) {
+  switch (m) {
+    case ArrivalModel::kPoisson:
+      return "poisson";
+    case ArrivalModel::kBursty:
+      return "bursty";
+    case ArrivalModel::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+bool parse_arrival_model(std::string_view name, ArrivalModel& out) {
+  if (name == "poisson") {
+    out = ArrivalModel::kPoisson;
+  } else if (name == "bursty") {
+    out = ArrivalModel::kBursty;
+  } else if (name == "diurnal") {
+    out = ArrivalModel::kDiurnal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Stream seed for a rank: decorrelate the shared seed with SplitMix64 so
+/// adjacent ranks do not walk correlated xoshiro states.
+std::uint64_t stream_seed(std::uint64_t seed, int rank) {
+  util::SplitMix64 sm(seed ^ (0xA44F1A11ULL * static_cast<std::uint64_t>(rank + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& cfg, int rank, int nprocs)
+    : cfg_(cfg), rank_(rank), nprocs_(nprocs), rng_(stream_seed(cfg.seed, rank)) {
+  PREMA_CHECK(nprocs > 0 && rank >= 0 && rank < nprocs);
+  PREMA_CHECK(cfg.rate_per_proc > 0.0);
+  PREMA_CHECK(cfg.diurnal_amplitude >= 0.0 && cfg.diurnal_amplitude < 1.0);
+  const std::uint64_t per = cfg.num_clients / static_cast<std::uint64_t>(nprocs);
+  client_first_ = per * static_cast<std::uint64_t>(rank);
+  client_count_ = per > 0 ? per : 1;
+  diurnal_phase_ = kTwoPi * static_cast<double>(rank) / static_cast<double>(nprocs);
+  // Duty-weighted mean of the MMPP rate multiplier; dividing the phase rates
+  // by it makes rate_per_proc the long-run average, as documented.
+  const double dwell = cfg.mean_on_s + cfg.mean_off_s;
+  if (dwell > 0.0) {
+    mmpp_norm_ = (cfg.mean_on_s * cfg.burst_factor +
+                  cfg.mean_off_s * cfg.idle_factor) /
+                 dwell;
+    PREMA_CHECK_MSG(mmpp_norm_ > 0.0, "MMPP rate multipliers must not both be zero");
+  }
+}
+
+double ArrivalGenerator::exp_gap(double rate) {
+  // Inverse-CDF exponential; 1-u keeps the argument of log strictly positive.
+  return -std::log(1.0 - rng_.uniform()) / rate;
+}
+
+double ArrivalGenerator::next_gap(double now) {
+  switch (cfg_.model) {
+    case ArrivalModel::kPoisson:
+      return exp_gap(cfg_.rate_per_proc);
+
+    case ArrivalModel::kBursty: {
+      // Two-state MMPP: walk exponential phase dwells, accumulating gap time
+      // at the phase-appropriate rate until an arrival lands inside a phase.
+      double gap = 0.0;
+      for (;;) {
+        if (phase_left_s_ <= 0.0) {
+          burst_on_ = !burst_on_;
+          phase_left_s_ = exp_gap(1.0 / (burst_on_ ? cfg_.mean_on_s : cfg_.mean_off_s));
+        }
+        const double rate = cfg_.rate_per_proc / mmpp_norm_ *
+                            (burst_on_ ? cfg_.burst_factor : cfg_.idle_factor);
+        const double g = exp_gap(rate);
+        if (g <= phase_left_s_) {
+          phase_left_s_ -= g;
+          return gap + g;
+        }
+        gap += phase_left_s_;
+        phase_left_s_ = 0.0;
+      }
+    }
+
+    case ArrivalModel::kDiurnal: {
+      // Thinning (Lewis-Shedler): draw candidates at the peak rate and accept
+      // with probability rate(t)/peak. The per-rank phase offset rotates the
+      // load crest around the machine over one diurnal period.
+      const double peak = cfg_.rate_per_proc * (1.0 + cfg_.diurnal_amplitude);
+      double t = now;
+      for (;;) {
+        t += exp_gap(peak);
+        const double rate =
+            cfg_.rate_per_proc *
+            (1.0 + cfg_.diurnal_amplitude *
+                       std::sin(kTwoPi * t / cfg_.diurnal_period_s + diurnal_phase_));
+        if (rng_.uniform() * peak <= rate) return t - now;
+      }
+    }
+  }
+  return exp_gap(cfg_.rate_per_proc);
+}
+
+Arrival ArrivalGenerator::next_arrival() {
+  Arrival a;
+  // Hot prefix: a fixed share of traffic concentrates on the first few
+  // percent of this rank's client range.
+  const auto hot = static_cast<std::uint64_t>(
+      cfg_.hot_client_fraction * static_cast<double>(client_count_));
+  if (hot > 0 && rng_.chance(cfg_.hot_client_weight)) {
+    a.client = client_first_ + rng_.below(hot);
+  } else {
+    a.client = client_first_ + rng_.below(client_count_);
+  }
+  // Bimodal cost: light exponential body plus a heavy tail of multiplied
+  // requests — the irregular-granularity mix the balancer must absorb.
+  const double light = -cfg_.cost_mean_mflop * std::log(1.0 - rng_.uniform());
+  a.cost_mflop = rng_.chance(cfg_.heavy_fraction) ? light * cfg_.heavy_mult : light;
+  return a;
+}
+
+}  // namespace prema::service

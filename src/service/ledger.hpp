@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/latency.hpp"
+#include "support/thread_annotations.hpp"
+
+/// \file ledger.hpp
+/// The service-mode latency ledger: one ProcService slab per processor,
+/// recording arrivals, completions, sojourn latencies (into the fixed-bucket
+/// LatencyHistogram) and an epoch-sampled per-node load time-series.
+///
+/// Concurrency model: each slab carries its own `util::Mutex mu_` — the
+/// `service_mu` rank of the lock hierarchy (see DESIGN.md and
+/// tools/analyze/lock_hierarchy.txt). Recording methods take it briefly and
+/// call nothing that locks, so `service_mu` sits near the leaf of the order:
+/// below the node state and ledger locks that are held while handlers run,
+/// above only the trace/log leaves. On the sim backend the lock is
+/// uncontended (single-threaded engine); on the thread backend it serializes
+/// a node's worker thread against the report reader at run end.
+///
+/// Aggregation (`totals`, `merged_histogram`) walks the slabs in fixed rank
+/// order; combined with the histogram's integer merge this makes the report
+/// independent of execution interleaving, so determinism tests can compare
+/// reports byte for byte.
+
+namespace prema::service {
+
+/// One epoch sample of a node's instantaneous load.
+struct LoadSample {
+  double t = 0.0;      ///< virtual time of the epoch tick
+  double load = 0.0;   ///< scheduler load metric at that instant
+};
+
+/// Aggregated counters across all slabs.
+struct ServiceTotals {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+};
+
+/// Per-processor service statistics slab.
+class ProcService {
+ public:
+  void record_arrival(double t);
+  void record_completion(double sojourn_s);
+  void sample_load(double t, double load);
+
+  [[nodiscard]] std::uint64_t arrivals() const;
+  [[nodiscard]] std::uint64_t completions() const;
+  [[nodiscard]] LatencyHistogram histogram() const;
+  [[nodiscard]] std::vector<LoadSample> load_series() const;
+  [[nodiscard]] double first_arrival_t() const;
+  [[nodiscard]] double last_arrival_t() const;
+
+ private:
+  mutable util::Mutex mu_;
+  std::uint64_t arrivals_ PREMA_GUARDED_BY(mu_) = 0;
+  std::uint64_t completions_ PREMA_GUARDED_BY(mu_) = 0;
+  double first_arrival_t_ PREMA_GUARDED_BY(mu_) = -1.0;
+  double last_arrival_t_ PREMA_GUARDED_BY(mu_) = -1.0;
+  LatencyHistogram hist_ PREMA_GUARDED_BY(mu_);
+  std::vector<LoadSample> series_ PREMA_GUARDED_BY(mu_);
+};
+
+/// The machine-wide ledger: a fixed array of slabs, one per processor,
+/// allocated before the run starts so recording never reallocates.
+class ServiceLedger {
+ public:
+  explicit ServiceLedger(int nprocs) : procs_(static_cast<std::size_t>(nprocs)) {}
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(procs_.size()); }
+  [[nodiscard]] ProcService& at(int p) { return procs_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] const ProcService& at(int p) const {
+    return procs_[static_cast<std::size_t>(p)];
+  }
+
+  /// Sum of per-slab counters, walked in rank order.
+  [[nodiscard]] ServiceTotals totals() const;
+
+  /// All slabs' histograms merged in rank order (deterministic by
+  /// construction — integer merge is order-independent anyway).
+  [[nodiscard]] LatencyHistogram merged_histogram() const;
+
+ private:
+  std::vector<ProcService> procs_;
+};
+
+}  // namespace prema::service

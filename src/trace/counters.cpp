@@ -72,6 +72,9 @@ ProcCounters& ProcCounters::operator+=(const ProcCounters& other) {
   acks_sent += other.acks_sent;
   dup_drops += other.dup_drops;
   corrupt_drops += other.corrupt_drops;
+  service_arrivals += other.service_arrivals;
+  service_completions += other.service_completions;
+  service_epochs += other.service_epochs;
   work_seconds += other.work_seconds;
   partition_seconds += other.partition_seconds;
   msg_size += other.msg_size;

@@ -68,6 +68,10 @@ struct ProcCounters {
   std::uint64_t acks_sent = 0;         ///< bare cumulative acks sent
   std::uint64_t dup_drops = 0;         ///< duplicate copies absorbed on receive
   std::uint64_t corrupt_drops = 0;     ///< checksum-mismatched copies discarded
+  // Service mode (all zero on a run-to-quiescence run):
+  std::uint64_t service_arrivals = 0;     ///< open-loop requests injected
+  std::uint64_t service_completions = 0;  ///< request handlers finished
+  std::uint64_t service_epochs = 0;       ///< epoch cadence ticks
 
   double work_seconds = 0.0;       ///< summed work-unit span durations
   double partition_seconds = 0.0;  ///< summed partition span durations

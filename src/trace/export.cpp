@@ -72,6 +72,9 @@ const char* chrome_category(EventKind k) {
     case EventKind::kFault: return "fault";
     case EventKind::kRetransmit:
     case EventKind::kAck: return "transport";
+    case EventKind::kServiceArrival:
+    case EventKind::kServiceComplete:
+    case EventKind::kServiceEpoch: return "service";
     case EventKind::kCount: break;
   }
   return "?";
@@ -129,6 +132,16 @@ std::string chrome_args(const TraceEvent& e) {
     case EventKind::kAck:
       a = "\"dst\":" + std::to_string(e.peer) +
           ",\"ack\":" + std::to_string(e.size);
+      break;
+    case EventKind::kServiceArrival:
+      a = "\"client\":" + std::to_string(e.size) + ",\"mflop\":" + num(e.value);
+      break;
+    case EventKind::kServiceComplete:
+      a = "\"client\":" + std::to_string(e.size) +
+          ",\"sojourn_s\":" + num(e.value);
+      break;
+    case EventKind::kServiceEpoch:
+      a = "\"load\":" + num(e.value);
       break;
     case EventKind::kCount:
       break;

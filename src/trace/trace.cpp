@@ -21,6 +21,9 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kFault: return "fault";
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kAck: return "ack";
+    case EventKind::kServiceArrival: return "service-arrival";
+    case EventKind::kServiceComplete: return "service-complete";
+    case EventKind::kServiceEpoch: return "service-epoch";
     case EventKind::kCount: break;
   }
   return "?";
@@ -250,6 +253,38 @@ void TraceSink::ack(double t, ProcId dst, std::uint32_t cumulative) {
   util::LockGuard g(mu_);
   push_locked(e);
   ++counters_.acks_sent;
+}
+
+void TraceSink::service_arrival(double t, std::uint64_t client, double mflop) {
+  TraceEvent e;
+  e.kind = EventKind::kServiceArrival;
+  e.t0 = t;
+  e.size = client;
+  e.value = mflop;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.service_arrivals;
+}
+
+void TraceSink::service_complete(double t, std::uint64_t client, double sojourn_s) {
+  TraceEvent e;
+  e.kind = EventKind::kServiceComplete;
+  e.t0 = t;
+  e.size = client;
+  e.value = sojourn_s;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.service_completions;
+}
+
+void TraceSink::service_epoch(double t, double load) {
+  TraceEvent e;
+  e.kind = EventKind::kServiceEpoch;
+  e.t0 = t;
+  e.value = load;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.service_epochs;
 }
 
 ProcCounters TraceSink::counters() const {

@@ -66,6 +66,9 @@ enum class EventKind : std::uint8_t {
   kFault,           ///< instant: injected/absorbed fault (value=FaultType, peer, size=bytes)
   kRetransmit,      ///< instant: reliable-transport retransmission (peer=dst, size=seq)
   kAck,             ///< instant: bare cumulative ack sent (peer=dst, size=ack value)
+  kServiceArrival,  ///< instant: open-loop request injected (size=client, value=Mflop)
+  kServiceComplete, ///< instant: request handler finished (size=client, value=sojourn s)
+  kServiceEpoch,    ///< instant: service-mode epoch tick (value=sampled load)
   kCount
 };
 
@@ -174,6 +177,14 @@ class TraceSink {
   void retransmit(double t, ProcId dst, std::uint32_t seq);
   /// A bare cumulative ack was sent toward `dst`.
   void ack(double t, ProcId dst, std::uint32_t cumulative);
+
+  // -- service mode (open-loop arrivals, see src/service) -----------------
+  /// An arrival-generator request was injected for `client` at cost `mflop`.
+  void service_arrival(double t, std::uint64_t client, double mflop);
+  /// A request for `client` completed with the given sojourn latency.
+  void service_complete(double t, std::uint64_t client, double sojourn_s);
+  /// An epoch tick fired; `load` is the scheduler load sampled at the tick.
+  void service_epoch(double t, double load);
 
   // -- counters / introspection ------------------------------------------
   /// Lightweight per-processor counters and histograms, updated under the

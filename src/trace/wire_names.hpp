@@ -36,7 +36,9 @@ namespace prema::trace {
   X("srp.assign", "SRP repartition assignment")      \
   X("srp.migdone", "SRP migration complete")         \
   X("srp.resume", "SRP resume broadcast")            \
-  X("srp.completed", "SRP work-item completion")
+  X("srp.completed", "SRP work-item completion")     \
+  X("service.arrival", "service-mode arrival timer") \
+  X("service.epoch", "service-mode epoch tick")
 
 /// Display label for a registered wire-handler name; empty view when the
 /// name is not in the table (the caller falls back to the raw name).

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_support/service_harness.hpp"
 #include "bench_support/synthetic.hpp"
 
 /// \file test_determinism.cpp
@@ -93,6 +94,40 @@ TEST(Determinism, FaultInjectedTracesAreByteIdentical) {
   const auto report_c = run_synthetic(System::kPremaImplicit, cfg_c);
   EXPECT_EQ(report_c.executed, report_a.executed);  // still exactly-once
   EXPECT_TRUE(bytes_a != slurp(report_c.trace_file));
+}
+
+TEST(Determinism, ServiceModeTracesAreByteIdentical) {
+  // Service mode layers timer-driven arrivals, epoch ticks and a gated
+  // termination phase on top of the emulator — all of it still seeded, so
+  // the contract extends: identical seeds give byte-identical service
+  // traces, arrival for arrival, completion for completion.
+  auto scenario = [](const std::string& trace_out) {
+    ServiceScenario sc;
+    sc.backend = "sim";
+    sc.nprocs = 8;
+    sc.duration_s = 0.12;
+    sc.policy = "work_stealing";
+    sc.arrivals.rate_per_proc = 30.0;
+    sc.trace_out = trace_out;
+    return sc;
+  };
+  const auto report_a = run_service_scenario(scenario("determinism_svc_a.json"));
+  const auto report_b = run_service_scenario(scenario("determinism_svc_b.json"));
+
+  EXPECT_TRUE(report_a.audit_ok);
+  EXPECT_DOUBLE_EQ(report_a.makespan, report_b.makespan);
+  EXPECT_EQ(report_a.arrivals, report_b.arrivals);
+  EXPECT_EQ(report_a.completions, report_b.completions);
+  EXPECT_EQ(report_a.migrations, report_b.migrations);
+
+  ASSERT_FALSE(report_a.trace_file.empty());
+  ASSERT_FALSE(report_b.trace_file.empty());
+  const std::string bytes_a = slurp(report_a.trace_file);
+  const std::string bytes_b = slurp(report_b.trace_file);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_TRUE(bytes_a == bytes_b)
+      << "service trace JSON diverged between two identically seeded runs ("
+      << bytes_a.size() << " vs " << bytes_b.size() << " bytes)";
 }
 
 TEST(Determinism, ExplicitPollingTracesAreByteIdenticalToo) {

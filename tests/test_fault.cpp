@@ -34,7 +34,8 @@ using dmcs::MsgKind;
 // ---------------------------------------------------------------------------
 
 TEST(FaultProfile, CannedProfilesRegistered) {
-  for (const char* name : {"none", "lossy1pct", "burst-reorder", "one-slow-node"}) {
+  for (const char* name :
+       {"none", "lossy1pct", "burst-reorder", "one-slow-node", "mid-pause"}) {
     EXPECT_TRUE(is_fault_profile(name)) << name;
     EXPECT_EQ(make_fault_profile(name).name, name);
   }

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "bench_support/service_harness.hpp"
+
+/// \file test_service_thread.cpp
+/// Service mode on the real-threads backend: the same open-loop scenario the
+/// sim tests run, but with real worker/poller threads racing the arrival
+/// timers, the balancer cadence and the service_mu-guarded ledger — which is
+/// exactly what the TSan job in CI exercises (label "thread").
+
+namespace prema::bench {
+namespace {
+
+ServiceScenario thread_scenario(const std::string& policy) {
+  ServiceScenario sc;
+  sc.backend = "thread";
+  sc.nprocs = 4;
+  sc.duration_s = 0.1;  // sized for the sanitizer matrix's ~10x slowdown
+  sc.epoch_s = 25e-3;
+  sc.policy = policy;
+  sc.arrivals.rate_per_proc = 120.0;
+  return sc;
+}
+
+TEST(ServiceThread, WorkStealingAuditBalances) {
+  const ServiceReport r = run_service_scenario(thread_scenario("work_stealing"));
+  EXPECT_TRUE(r.audit_ok) << "arrivals=" << r.arrivals
+                          << " completions=" << r.completions;
+  EXPECT_GT(r.arrivals, 0u);
+  EXPECT_EQ(r.histogram.count(), r.completions);
+  EXPECT_GT(r.p50_ms, 0.0);
+  EXPECT_GE(r.p999_ms, r.p50_ms);
+  for (const auto& series : r.load_series) EXPECT_FALSE(series.empty());
+}
+
+TEST(ServiceThread, DiffusionAuditBalances) {
+  const ServiceReport r = run_service_scenario(thread_scenario("diffusion"));
+  EXPECT_TRUE(r.audit_ok) << "arrivals=" << r.arrivals
+                          << " completions=" << r.completions;
+  EXPECT_GT(r.arrivals, 0u);
+}
+
+}  // namespace
+}  // namespace prema::bench

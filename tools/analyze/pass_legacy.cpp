@@ -109,11 +109,13 @@ bool allowed(std::string_view rule, std::string_view rel) {
     // The sanctioned RNG owners: the emulator core (one stream per machine),
     // the thread backend (per-worker streams), the fault subsystem (one
     // stream per link — the whole point of src/fault), the RNG wrapper
-    // itself, and the partitioner's seeded coarsening.
+    // itself, the partitioner's seeded coarsening, and the service-mode
+    // arrival generators (one seeded stream per synthetic client source).
     if (rel.size() >= 6 && rel.substr(0, 6) == "fault/") return true;
     return rel == "sim/engine.hpp" || rel == "dmcs/thread_machine.hpp" ||
            rel == "dmcs/thread_machine.cpp" || rel == "support/rng.hpp" ||
-           rel == "partition/multilevel.cpp";
+           rel == "partition/multilevel.cpp" ||
+           rel == "service/arrivals.hpp" || rel == "service/arrivals.cpp";
   }
   if (rule == "locking") {
     // The one place raw primitives may appear: the annotated wrappers.
@@ -198,6 +200,10 @@ constexpr Snippet kSnippets[] = {
      "util::Rng rng_;", false},
     {"partitioner seeds its own stream", "partition/multilevel.cpp",
      "util::Rng rng(opts.seed);", false},
+    {"arrival generator owns its client streams", "service/arrivals.hpp",
+     "util::Rng rng_;", false},
+    {"Rng owned outside the service allowlist", "service/ledger.cpp",
+     "util::Rng rng_{3};", true},
 };
 
 }  // namespace
