@@ -117,19 +117,25 @@ class ReliableLink {
   [[nodiscard]] bool peer_lossy(ProcId peer) const;
 
  private:
+  // The inner structs live inside tx_/rx_ (both GUARDED_BY(mu_)); Clang
+  // attributes cannot express that from here, so the analyzer-only
+  // GUARDED_BY_CONTEXT spelling records the discipline for lock-flow.
   struct Pending {
-    Message msg;
-    double deadline = 0.0;
-    double rto = 0.0;
-    int retries = 0;
+    Message msg PREMA_GUARDED_BY_CONTEXT(mu_);
+    double deadline PREMA_GUARDED_BY_CONTEXT(mu_) = 0.0;
+    double rto PREMA_GUARDED_BY_CONTEXT(mu_) = 0.0;
+    int retries PREMA_GUARDED_BY_CONTEXT(mu_) = 0;
   };
   struct Tx {
-    std::uint32_t next_seq = 0;
-    std::map<std::uint32_t, Pending> pending;  ///< ordered: deterministic scans
+    std::uint32_t next_seq PREMA_GUARDED_BY_CONTEXT(mu_) = 0;
+    /// Ordered: deterministic scans.
+    std::map<std::uint32_t, Pending> pending PREMA_GUARDED_BY_CONTEXT(mu_);
   };
   struct Rx {
-    std::uint32_t expected = 0;  ///< cumulative frontier: all < expected done
-    std::map<std::uint32_t, Message> buffer;  ///< out-of-order arrivals
+    /// Cumulative frontier: all < expected done.
+    std::uint32_t expected PREMA_GUARDED_BY_CONTEXT(mu_) = 0;
+    /// Out-of-order arrivals.
+    std::map<std::uint32_t, Message> buffer PREMA_GUARDED_BY_CONTEXT(mu_);
   };
 
   ProcId self_;

@@ -3,7 +3,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "dmcs/machine.hpp"
@@ -123,8 +123,9 @@ class SimNode final : public Node {
   double captured_s_ = 0.0;
   std::vector<std::pair<ProcId, Message>> deferred_sends_;
 
-  // Pending send_self_after timer events (cancellable).
-  std::unordered_set<sim::EventId> timer_events_;
+  // Pending send_self_after timer events (cancellable). Ordered set so
+  // cancel_timers() walks them deterministically.
+  std::set<sim::EventId> timer_events_;
 
   // Reliable transport (created in start() when a fault plan is active).
   // The retransmit event is deliberately *not* in timer_events_: termination

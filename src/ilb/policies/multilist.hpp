@@ -1,7 +1,7 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "ilb/policy.hpp"
@@ -57,14 +57,15 @@ class MultiListPolicy final : public Policy {
   double last_reported_ = -1.0;
   bool asked_ = false;
 
-  // Leader state.
-  std::unordered_map<ProcId, double> member_load_;
+  // Leader state. Ordered maps: serve/report scans pick donors and targets
+  // by iterating these, so hash order would leak into migration decisions.
+  std::map<ProcId, double> member_load_;
   std::deque<ProcId> pending_;
   double last_group_reported_ = -1.0;
   bool asked_global_ = false;
 
   // Coordinator (rank 0) state.
-  std::unordered_map<ProcId, double> group_load_;   ///< by leader rank
+  std::map<ProcId, double> group_load_;             ///< by leader rank
   std::deque<ProcId> pending_groups_;               ///< leaders with starved members
 };
 

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mol/delivery.hpp"
@@ -72,7 +72,9 @@ class Scheduler {
     }
   }
 
-  std::unordered_map<mol::MobilePtr, std::deque<mol::Delivery>> per_object_;
+  /// Ordered map: migratable_loads() iterates it to build the policy's view
+  /// of movable work, so iteration order must be deterministic.
+  std::map<mol::MobilePtr, std::deque<mol::Delivery>> per_object_;
   std::deque<mol::MobilePtr> ready_;  ///< each object with queued units, once
   std::size_t total_units_ = 0;
   double total_weight_ = 0.0;

@@ -1,8 +1,9 @@
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mesh/vec3.hpp"
@@ -43,23 +44,15 @@ class SpatialGrid {
  private:
   struct Key {
     std::int64_t x, y, z;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      std::uint64_t h = 1469598103934665603ULL;
-      for (const std::int64_t v : {k.x, k.y, k.z}) {
-        h ^= static_cast<std::uint64_t>(v);
-        h *= 1099511628211ULL;
-      }
-      return static_cast<std::size_t>(h);
-    }
+    auto operator<=>(const Key&) const = default;
   };
 
   [[nodiscard]] Key key_of(const Vec3& p) const;
 
   double cell_;
-  std::unordered_map<Key, std::vector<std::pair<std::int32_t, Vec3>>, KeyHash> buckets_;
+  /// Ordered map: for_each_in_ball's huge-radius path iterates every bucket
+  /// feeding the caller's callback, so iteration order must be deterministic.
+  std::map<Key, std::vector<std::pair<std::int32_t, Vec3>>> buckets_;
   std::size_t count_ = 0;
 };
 

@@ -116,7 +116,9 @@ class Mol {
   struct LocalEntry {
     std::unique_ptr<MobileObject> obj;
     std::uint64_t next_delivery = 0;
-    std::unordered_map<ProcId, std::uint32_t> expected;  ///< next seq per sender
+    /// Next seq per sender. Ordered map: migrate_locked serializes this onto
+    /// the wire, and hash order would make the packed bytes nondeterministic.
+    std::map<ProcId, std::uint32_t> expected;
     std::map<std::pair<ProcId, std::uint32_t>, Buffered> reorder;
   };
 
@@ -161,7 +163,9 @@ class Mol {
   // application messages), so every map below is shared mutable state.
   Stats stats_ PREMA_GUARDED_BY(node_.state_mutex());
   std::uint32_t next_index_ PREMA_GUARDED_BY(node_.state_mutex()) = 0;
-  std::unordered_map<MobilePtr, LocalEntry> local_
+  /// Ordered map: local_ptrs() feeds policy decisions and migrate scans
+  /// iterate it, so iteration order must be deterministic.
+  std::map<MobilePtr, LocalEntry> local_
       PREMA_GUARDED_BY(node_.state_mutex());
   /// Where each object went from here (forwarding addresses).
   std::unordered_map<MobilePtr, ProcId> forwarding_

@@ -75,6 +75,14 @@
 /// expressions name a private mutex through an accessor).
 #define PREMA_RETURN_CAPABILITY(x) PREMA_THREAD_ANNOTATION__(lock_returned(x))
 
+/// Analyzer-only guard declaration for fields protected by a lock the class
+/// cannot name in a Clang attribute — e.g. the inner structs of
+/// `ReliableLink` (protected by the enclosing class' `mu_`) or a coordinator
+/// struct guarded by its owner's `state_mutex()`. Expands to nothing for
+/// every compiler; `prema_analyze`'s lock-flow pass reads it as GUARDED_BY
+/// coverage. The argument is documentation: name the guarding lock.
+#define PREMA_GUARDED_BY_CONTEXT(x)
+
 /// Opt a function out of the analysis entirely (last resort).
 #define PREMA_NO_THREAD_SAFETY_ANALYSIS \
   PREMA_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analyze/report.hpp"
 
@@ -30,14 +33,26 @@ std::string read_file_or_empty(const std::string& path) {
 }
 
 /// Run every pass over the fixture's src/ tree with its (optional) local
-/// lock_hierarchy.txt and return the findings formatted one per line,
-/// exactly as the CLI prints them.
+/// lock_hierarchy.txt and protocols/ specs and return the findings formatted
+/// one per line, exactly as the CLI prints them.
 std::string analyze_fixture(const std::string& rel_case) {
   const std::string dir = kFixtures + "/" + rel_case;
   Tree tree;
   EXPECT_TRUE(load_tree(dir + "/src", tree)) << dir;
   Options opts;
   opts.hierarchy_text = read_file_or_empty(dir + "/lock_hierarchy.txt");
+  // Fixture-local protocol specs, loaded sorted exactly as the CLI does.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> specs;
+  for (const auto& entry : fs::directory_iterator(dir + "/protocols", ec)) {
+    if (entry.path().extension() == ".txt") specs.push_back(entry.path());
+  }
+  std::sort(specs.begin(), specs.end());
+  for (const fs::path& p : specs) {
+    opts.protocol_specs.emplace_back(p.stem().string(),
+                                     read_file_or_empty(p.string()));
+  }
   Findings out;
   run_all_passes(tree, opts, out);
   std::string text;
@@ -75,6 +90,36 @@ TEST(AnalyzeFixtures, SerializationAsymmetry) {
 TEST(AnalyzeFixtures, TimeDomainMixing) {
   EXPECT_EQ(analyze_fixture("time_domain/mixing"),
             expected("time_domain/mixing"));
+}
+
+TEST(AnalyzeFixtures, LockFlowBlockingSend) {
+  EXPECT_EQ(analyze_fixture("lock_flow/blocking_send"),
+            expected("lock_flow/blocking_send"));
+}
+
+TEST(AnalyzeFixtures, LockFlowRequiresUnheld) {
+  EXPECT_EQ(analyze_fixture("lock_flow/requires_unheld"),
+            expected("lock_flow/requires_unheld"));
+}
+
+TEST(AnalyzeFixtures, ProtocolFsmUndeclaredTransition) {
+  EXPECT_EQ(analyze_fixture("protocol_fsm/undeclared_transition"),
+            expected("protocol_fsm/undeclared_transition"));
+}
+
+TEST(AnalyzeFixtures, ProtocolFsmMissingEmit) {
+  EXPECT_EQ(analyze_fixture("protocol_fsm/missing_emit"),
+            expected("protocol_fsm/missing_emit"));
+}
+
+TEST(AnalyzeFixtures, SimPurityUnorderedIteration) {
+  EXPECT_EQ(analyze_fixture("sim_purity/unordered_iter"),
+            expected("sim_purity/unordered_iter"));
+}
+
+TEST(AnalyzeFixtures, SimPurityWallClock) {
+  EXPECT_EQ(analyze_fixture("sim_purity/wallclock"),
+            expected("sim_purity/wallclock"));
 }
 
 TEST(AnalyzeFixtures, CleanTreeHasNoFindings) {

@@ -9,6 +9,9 @@ const std::vector<PassInfo>& all_passes() {
       {"protocol", pass_protocol},
       {"serialization", pass_serialization},
       {"time-domain", pass_time_domain},
+      {"lock-flow", pass_lock_flow},
+      {"protocol-fsm", pass_protocol_fsm},
+      {"sim-purity", pass_sim_purity},
   };
   return passes;
 }

@@ -1,18 +1,23 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 /// \file core.hpp
 /// Shared substrate of prema_analyze (tools/analyze): source loading, the
-/// comment/literal-stripping lexer and the identifier-level scanning helpers
-/// every pass is built from. No libclang — the passes work on a byte-offset
-/// preserving "code view" of each file (comments and literals blanked out, so
-/// positions in the code view index the raw bytes too, which is how string
-/// literal arguments are recovered after a match).
+/// comment/literal-stripping lexer, the identifier-level scanning helpers
+/// every pass is built from, and the whole-program symbol index (function
+/// definitions, call graph, lock acquisitions/releases, class/field tables)
+/// that the interprocedural passes — lock-flow, protocol-fsm, sim-purity —
+/// are built on. No libclang: the passes work on a byte-offset preserving
+/// "code view" of each file (comments and literals blanked out, so positions
+/// in the code view index the raw bytes too, which is how string literal
+/// arguments are recovered after a match).
 
 namespace prema::analyze {
 
@@ -42,11 +47,71 @@ std::string fingerprint(const Finding& f);
 
 /// Inputs shared by the passes. Empty text disables the dependent checks
 /// (fixtures provide their own hierarchy; a missing DESIGN.md skips the
-/// drift check).
+/// drift check; no protocol specs disables protocol-fsm).
 struct Options {
   std::string hierarchy_text;  ///< contents of tools/analyze/lock_hierarchy.txt
   std::string design_text;     ///< contents of DESIGN.md (drift check)
+  /// Protocol state-machine specs (tools/analyze/protocols/*.txt), as
+  /// (spec-name, contents) pairs in deterministic order.
+  std::vector<std::pair<std::string, std::string>> protocol_specs;
 };
+
+// ---------------------------------------------------------------------------
+// Lock hierarchy (tools/analyze/lock_hierarchy.txt)
+// ---------------------------------------------------------------------------
+
+struct LockMatcher {
+  std::string path;   ///< rel-path substring qualifier ("" = any file)
+  std::string ident;  ///< canonical base name (lock_base_name form)
+};
+
+struct LockEntry {
+  std::string name;
+  std::vector<LockMatcher> matchers;
+  bool recursive = false;  ///< may be re-acquired while held
+  bool noblock = false;    ///< must never be held across a blocking operation
+};
+
+/// lock_hierarchy.txt: one entry per line, ordered top (outermost) to bottom
+/// (innermost). `name  matcher[,matcher...]  [recursive] [noblock]` where a
+/// matcher is `ident` or `path-substring!ident`. '#' starts a comment.
+std::vector<LockEntry> parse_hierarchy(std::string_view text);
+
+/// Hierarchy entry index for a canonical lock name acquired in `rel`;
+/// -1 when nothing matches.
+int resolve_lock(const std::vector<LockEntry>& entries, std::string_view rel,
+                 std::string_view base);
+
+// ---------------------------------------------------------------------------
+// Protocol state-machine specs (tools/analyze/protocols/*.txt)
+// ---------------------------------------------------------------------------
+
+struct ProtocolTransition {
+  std::string name;
+  std::string fn;                   ///< function implementing the transition
+  std::string files;                ///< rel-path prefix override ("" = spec's)
+  std::vector<std::string> writes;  ///< protocol vars this transition may write
+  std::string emits;                ///< trace event the fn must call ("" = none)
+  int line = 0;                     ///< line in the spec file
+};
+
+struct ProtocolSpec {
+  std::string name;
+  std::string files;  ///< rel-path prefix owning the protocol state
+  std::vector<std::string> vars;
+  std::vector<ProtocolTransition> transitions;
+};
+
+/// Parse one spec file. Grammar (one directive per line, '#' comments):
+///   protocol <name>
+///   files <rel-path-prefix>
+///   var <ident> [<ident>...]
+///   transition <name> fn=<ident> [files=<prefix>] [writes=<a,b,..>]
+///              [emits=<event>]
+/// Malformed directives are reported into `errors` (file = `spec_name`).
+std::optional<ProtocolSpec> parse_protocol_spec(const std::string& spec_name,
+                                                std::string_view text,
+                                                std::vector<Finding>& errors);
 
 // ---------------------------------------------------------------------------
 // Lexing / scanning helpers
@@ -85,6 +150,9 @@ std::size_t skip_ws(std::string_view text, std::size_t pos);
 /// Offset of the ')' matching the '(' at `open`; npos if unbalanced.
 std::size_t matching_paren(std::string_view code, std::size_t open);
 
+/// Offset of the '}' matching the '{' at `open`; npos if unbalanced.
+std::size_t matching_brace(std::string_view code, std::size_t open);
+
 /// First string-literal argument of a call whose '(' sits at `open` in the
 /// code view: reads the quoted value back out of `raw` (the code view has it
 /// blanked). nullopt when the first argument is not a string literal.
@@ -98,6 +166,10 @@ std::vector<std::string> split_args(std::string_view args);
 /// and one trailing underscore stripped).
 std::string lock_base_name(std::string_view expr);
 
+/// True when the raw line containing `pos` (or the line above it) carries an
+/// `analyze:allow(<rule>)` suppression comment for `rule`.
+bool allow_comment(const SourceFile& f, std::size_t pos, std::string_view rule);
+
 /// Load every .hpp/.cpp/.h/.cc under `root` (sorted, rel paths generic).
 /// Returns false when root is not a directory.
 bool load_tree(const std::string& root, Tree& out);
@@ -105,5 +177,122 @@ bool load_tree(const std::string& root, Tree& out);
 /// Run a single in-memory file through the same pipeline (self-tests,
 /// fixtures assembled from snippets).
 SourceFile make_file(std::string rel, std::string raw);
+
+// ---------------------------------------------------------------------------
+// Whole-program symbol index / call graph
+// ---------------------------------------------------------------------------
+//
+// Built once per interprocedural pass from the code views alone. Function
+// discovery is heuristic (identifier + balanced parens + a conservative
+// trailing-token walk to the body '{'), which is exact enough for this
+// repo's idiom: out-of-line `Class::method` definitions, inline methods
+// inside class bodies, and free functions. Lambdas are intentionally *not*
+// separate functions — their bodies belong to the enclosing definition, so
+// facts established inside a registration lambda (e.g. an
+// assert-capability call) stay attached to the function that created it.
+
+/// A `class X {` / `struct X {` body range.
+struct ClassRegion {
+  std::string name;
+  int file = -1;
+  std::size_t body_begin = 0;  ///< offset of '{'
+  std::size_t body_end = 0;    ///< offset of matching '}'
+};
+
+/// A data-member declaration inside a class region.
+struct FieldDecl {
+  std::string cls;   ///< owning class
+  std::string name;
+  std::string type;  ///< declaration text left of the name (whitespace-packed)
+  int file = -1;
+  int line = 0;
+  std::size_t pos = 0;  ///< offset of the name in the file
+  bool guarded = false;  ///< GUARDED_BY / GUARDED_BY_CONTEXT / std::atomic
+};
+
+/// One RAII lock hold (or assert-capability grant) inside a function body.
+struct LockAcq {
+  std::size_t pos = 0;  ///< acquisition offset
+  std::size_t end = 0;  ///< hold ends here (explicit .unlock() or scope close)
+  std::string base;     ///< canonical lock name, capability aliases resolved
+  std::string guard_var;  ///< RAII guard variable ("" for asserts/lock_state)
+};
+
+struct FunctionDef {
+  std::string name;  ///< unqualified name
+  std::string qual;  ///< "Class::name" when known, else == name
+  int file = -1;
+  int line = 0;
+  std::size_t name_pos = 0;
+  std::size_t body_begin = 0;  ///< offset of '{'
+  std::size_t body_end = 0;    ///< offset of matching '}'
+  std::vector<std::string> requires_locks;  ///< PREMA_REQUIRES facts
+  std::vector<LockAcq> acquisitions;        ///< sorted by pos
+};
+
+struct CallSite {
+  int caller = -1;   ///< index into Index::funcs
+  int callee = -1;   ///< resolved index, -1 when unresolved or ambiguous
+  std::size_t pos = 0;  ///< offset of the callee name in the caller's file
+  std::string name;     ///< callee name as written (last path component)
+};
+
+struct Index {
+  const Tree* tree = nullptr;
+  std::vector<FunctionDef> funcs;
+  std::vector<CallSite> calls;                     ///< sorted by (caller, pos)
+  std::vector<ClassRegion> classes;
+  std::vector<FieldDecl> fields;
+  std::map<std::string, std::vector<int>> by_name;  ///< unqualified -> funcs
+  std::map<std::string, std::vector<int>> by_qual;  ///< "Class::name" -> funcs
+  std::set<std::string> class_names;
+  /// Member/field name -> declared class type (for receiver resolution);
+  /// only kept when unambiguous across the tree.
+  std::map<std::string, std::string> member_types;
+  /// fn name -> lock base: PREMA_RETURN_CAPABILITY aliases, so
+  /// `coord_mutex()` used as a lock expression resolves to its capability.
+  std::map<std::string, std::string> capability_alias;
+  /// fn name -> lock base: PREMA_ASSERT_CAPABILITY grantors — calling one
+  /// proves the lock is held for the rest of the enclosing scope.
+  std::map<std::string, std::string> assert_grants;
+
+  /// Index into funcs of the definition whose body contains (file, pos);
+  /// innermost match wins. -1 when outside every body.
+  int enclosing(int file, std::size_t pos) const;
+
+  /// Field lookup: prefer `cls_hint`'s region, then classes declared in
+  /// `file` or its same-stem header/source pair. nullptr when not found.
+  const FieldDecl* find_field(const std::string& cls_hint, int file,
+                              const std::string& name) const;
+};
+
+/// Build the whole-program index for `tree`.
+Index build_index(const Tree& tree);
+
+/// May-hold lock sets at function entry, propagated to a fixed point over
+/// resolved call edges: entry(callee) ⊇ holds-at-call-site(caller). Seeded
+/// from each function's PREMA_REQUIRES facts.
+std::vector<std::set<std::string>> propagate_entry_locks(const Index& idx);
+
+/// Locks possibly held at `pos` inside funcs[fi]: the propagated entry set
+/// plus every lexical hold (RAII guard or assert grant) covering `pos`.
+std::set<std::string> held_at(const Index& idx,
+                              const std::vector<std::set<std::string>>& entry,
+                              int fi, std::size_t pos);
+
+/// A mutation site inside a function body: `chain.back()` (the field) is
+/// assigned, incremented/decremented, compound-assigned, or receives a
+/// mutating container call (emplace/erase/insert/push_back/clear/resize/...).
+struct WriteSite {
+  std::size_t pos = 0;               ///< offset of the written field name
+  std::vector<std::string> chain;    ///< access chain, e.g. {"tx", "pending"}
+  std::string op;                    ///< "=", "++", "+=", "erase", ...
+};
+
+/// Collect mutation sites in `f.code[[begin,end))`, sorted by position.
+/// Declarations-with-initializer (`auto& x = ...`, `int x = ...`) are not
+/// writes; chains are member-access paths of plain identifiers.
+std::vector<WriteSite> collect_writes(const SourceFile& f, std::size_t begin,
+                                      std::size_t end);
 
 }  // namespace prema::analyze

@@ -1,0 +1,6 @@
+// Seeded violation: a wire send while holding the noblock trace lock. The
+// lock-flow pass must report the blocking call and name the lock.
+void flush(N* n) {
+  util::LockGuard g(trace_mu_);
+  n->send(0, m);
+}

@@ -1,0 +1,5 @@
+// Seeded violation: calling a PREMA_REQUIRES function without holding the
+// declared lock on any path into the call.
+void route_locked() PREMA_REQUIRES(state_mutex_) { touch(); }
+
+void handler() { route_locked(); }

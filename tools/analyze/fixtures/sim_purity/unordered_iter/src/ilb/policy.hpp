@@ -1,0 +1,13 @@
+// Seeded violation: a balancing policy iterating an unordered container —
+// hash order leaks into migration decisions on the simulated machine.
+class DemoPolicy {
+ public:
+  void serve() {
+    for (const auto& kv : member_load_) {
+      consider(kv);
+    }
+  }
+
+ private:
+  std::unordered_map<int, double> member_load_;
+};

@@ -1,0 +1,7 @@
+// Seeded violation: library code reachable from the simulated event loop
+// reading the host's wall clock (also a conventions-pass determinism hit —
+// both diagnostics are pinned here).
+double jitter_seed() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}

@@ -1,24 +1,33 @@
 // prema_analyze — multi-pass semantic static analyzer for the PREMA runtime.
 //
 //   prema_analyze <src-root> [--hierarchy F] [--design F] [--baseline F]
-//                            [--sarif OUT] [--write-baseline F]
+//                            [--protocols DIR] [--sarif OUT]
+//                            [--write-baseline F] [--pass NAME]... [--timings]
+//   prema_analyze --list-passes
 //   prema_analyze --self-test
 //
 // Scans the tree rooted at <src-root> with every pass (see passes.hpp),
-// subtracts the baseline and reports what is left. Exit 0 when no new
-// findings, 1 when there are, 2 on usage/IO errors.
+// subtracts the baseline and reports what is left. `--pass NAME` (repeatable)
+// restricts the run to the named passes so CI and local runs can bisect a
+// regression; `--timings` prints per-pass wall time to stderr. Exit 0 when no
+// new findings, 1 when there are, 2 on usage/IO errors.
 //
 // Defaults, resolved relative to <src-root>'s parent (the repo root when
-// scanning src/): tools/analyze/lock_hierarchy.txt, DESIGN.md and
-// tools/analyze/baseline.txt. A missing *default* file just disables the
-// dependent checks; an explicitly given path must exist.
+// scanning src/): tools/analyze/lock_hierarchy.txt, DESIGN.md,
+// tools/analyze/baseline.txt and tools/analyze/protocols/. A missing
+// *default* file just disables the dependent checks; an explicitly given
+// path must exist.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analyze/report.hpp"
 
@@ -38,26 +47,67 @@ std::optional<std::string> read_file(const fs::path& path) {
 int usage() {
   std::fprintf(stderr,
                "usage: prema_analyze <src-root> [--hierarchy F] [--design F]\n"
-               "                     [--baseline F] [--sarif OUT] "
-               "[--write-baseline F]\n"
+               "                     [--baseline F] [--protocols DIR] "
+               "[--sarif OUT]\n"
+               "                     [--write-baseline F] [--pass NAME]... "
+               "[--timings]\n"
+               "       prema_analyze --list-passes\n"
                "       prema_analyze --self-test\n");
   return 2;
+}
+
+/// Load every protocols/*.txt (sorted) as (stem, contents) pairs.
+bool load_protocol_specs(const fs::path& dir, bool required, Options& opts) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (!required) return true;
+    std::fprintf(stderr, "prema_analyze: %s is not a directory\n",
+                 dir.string().c_str());
+    return false;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".txt") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& p : files) {
+    const auto text = read_file(p);
+    if (!text) {
+      std::fprintf(stderr, "prema_analyze: cannot read %s\n", p.string().c_str());
+      return false;
+    }
+    opts.protocol_specs.emplace_back(p.stem().string(), *text);
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 2 && std::string(argv[1]) == "--self-test") return run_self_test();
+  if (argc == 2 && std::string(argv[1]) == "--list-passes") {
+    for (const PassInfo& p : all_passes()) std::printf("%s\n", p.name);
+    return 0;
+  }
   if (argc < 2 || argv[1][0] == '-') return usage();
 
   const fs::path root = argv[1];
   std::string hierarchy_path;
   std::string design_path;
   std::string baseline_path;
+  std::string protocols_path;
   std::string sarif_out;
   std::string write_baseline_out;
+  std::set<std::string> selected;
+  bool timings = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--timings") {
+      timings = true;
+      continue;
+    }
     if (i + 1 >= argc) return usage();
     const std::string value = argv[++i];
     if (flag == "--hierarchy") {
@@ -66,12 +116,29 @@ int main(int argc, char** argv) {
       design_path = value;
     } else if (flag == "--baseline") {
       baseline_path = value;
+    } else if (flag == "--protocols") {
+      protocols_path = value;
     } else if (flag == "--sarif") {
       sarif_out = value;
     } else if (flag == "--write-baseline") {
       write_baseline_out = value;
+    } else if (flag == "--pass") {
+      selected.insert(value);
     } else {
       return usage();
+    }
+  }
+
+  for (const std::string& name : selected) {
+    const auto& passes = all_passes();
+    const bool known = std::any_of(
+        passes.begin(), passes.end(),
+        [&](const PassInfo& p) { return name == p.name; });
+    if (!known) {
+      std::fprintf(stderr,
+                   "prema_analyze: unknown pass '%s' (see --list-passes)\n",
+                   name.c_str());
+      return 2;
     }
   }
 
@@ -106,9 +173,27 @@ int main(int argc, char** argv) {
                baseline_text)) {
     return 2;
   }
+  if (!load_protocol_specs(protocols_path.empty()
+                               ? repo / "tools" / "analyze" / "protocols"
+                               : fs::path(protocols_path),
+                           !protocols_path.empty(), opts)) {
+    return 2;
+  }
 
   Findings all;
-  run_all_passes(tree, opts, all);
+  std::size_t passes_run = 0;
+  for (const PassInfo& p : all_passes()) {
+    if (!selected.empty() && selected.count(p.name) == 0) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    p.fn(tree, opts, all);
+    const auto t1 = std::chrono::steady_clock::now();
+    ++passes_run;
+    if (timings) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      std::fprintf(stderr, "prema_analyze: pass %-14s %8.1f ms\n", p.name, ms);
+    }
+  }
 
   if (!write_baseline_out.empty()) {
     std::ofstream out(write_baseline_out, std::ios::binary);
@@ -147,6 +232,6 @@ int main(int argc, char** argv) {
   }
   std::printf("prema_analyze: OK (%zu files scanned, %zu passes, "
               "%zu baseline-suppressed)\n",
-              tree.files.size(), all_passes().size(), all.size());
+              tree.files.size(), passes_run, all.size());
   return 0;
 }

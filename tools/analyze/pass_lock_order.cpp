@@ -27,74 +27,8 @@
 namespace prema::analyze {
 namespace {
 
-struct Matcher {
-  std::string path;   ///< rel-path substring qualifier ("" = any file)
-  std::string ident;  ///< canonical base name (lock_base_name form)
-};
-
-struct LockEntry {
-  std::string name;
-  std::vector<Matcher> matchers;
-  bool recursive = false;
-};
-
-/// lock_hierarchy.txt: one entry per line, ordered top (outermost) to bottom
-/// (innermost). `name  matcher[,matcher...]  [recursive]` where a matcher is
-/// `ident` or `path-substring!ident`. '#' starts a comment.
-std::vector<LockEntry> parse_hierarchy(std::string_view text) {
-  std::vector<LockEntry> entries;
-  std::size_t pos = 0;
-  while (pos <= text.size()) {
-    const std::size_t eol = std::min(text.find('\n', pos), text.size());
-    std::string line(text.substr(pos, eol - pos));
-    pos = eol + 1;
-    if (const auto hash = line.find('#'); hash != std::string::npos) {
-      line.resize(hash);
-    }
-    std::vector<std::string> fields;
-    std::string cur;
-    for (const char c : line + " ") {
-      if (c == ' ' || c == '\t' || c == '\r') {
-        if (!cur.empty()) fields.push_back(cur);
-        cur.clear();
-      } else {
-        cur.push_back(c);
-      }
-    }
-    if (fields.empty()) continue;
-    LockEntry e;
-    e.name = fields[0];
-    if (fields.size() >= 2) {
-      for (const std::string& m : split_args(fields[1])) {
-        Matcher matcher;
-        if (const auto bang = m.find('!'); bang != std::string::npos) {
-          matcher.path = m.substr(0, bang);
-          matcher.ident = m.substr(bang + 1);
-        } else {
-          matcher.ident = m;
-        }
-        e.matchers.push_back(std::move(matcher));
-      }
-    }
-    if (fields.size() >= 3 && fields[2] == "recursive") e.recursive = true;
-    entries.push_back(std::move(e));
-  }
-  return entries;
-}
-
-/// Hierarchy entry index for a canonical lock name acquired in `rel`;
-/// -1 when nothing matches.
-int resolve(const std::vector<LockEntry>& entries, std::string_view rel,
-            std::string_view base) {
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    for (const Matcher& m : entries[i].matchers) {
-      if (m.ident != base) continue;
-      if (!m.path.empty() && rel.find(m.path) == std::string_view::npos) continue;
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
-}
+// The hierarchy file model (parse_hierarchy / resolve_lock) lives in core —
+// the lock-flow pass shares it for its `noblock` attribute.
 
 struct Acquisition {
   std::size_t pos = 0;   ///< event position in the code view
@@ -214,7 +148,7 @@ std::set<std::string> collect_annotation_refs(const SourceFile& f) {
       "PREMA_GUARDED_BY",      "PREMA_PT_GUARDED_BY", "PREMA_REQUIRES",
       "PREMA_ACQUIRE",         "PREMA_RELEASE",       "PREMA_TRY_ACQUIRE",
       "PREMA_EXCLUDES",        "PREMA_ASSERT_CAPABILITY",
-      "PREMA_RETURN_CAPABILITY"};
+      "PREMA_RETURN_CAPABILITY",                      "PREMA_GUARDED_BY_CONTEXT"};
   std::set<std::string> refs;
   const std::string_view code = f.code;
   for (const char* macro : kMacros) {
@@ -262,7 +196,7 @@ void pass_lock_order(const Tree& tree, const Options& opts, Findings& out) {
       while (ev < events.size() && events[ev].pos == p) {
         const Acquisition& a = events[ev++];
         if (a.at_open_brace && !at_open) continue;  // defensive: must be a '{'
-        const int entry = resolve(entries, f.rel, a.base);
+        const int entry = resolve_lock(entries, f.rel, a.base);
         const std::string name = entry >= 0 ? entries[entry].name : a.base;
         const int line = line_of(code, a.pos);
         if (entry < 0 && have_hierarchy && !a.at_open_brace) {
@@ -334,7 +268,7 @@ void pass_lock_order(const Tree& tree, const Options& opts, Findings& out) {
     if (decls.empty()) continue;
     const auto refs = collect_annotation_refs(f);
     for (const DeclaredMutex& d : decls) {
-      if (have_hierarchy && resolve(entries, d.rel, d.name) < 0) {
+      if (have_hierarchy && resolve_lock(entries, d.rel, d.name) < 0) {
         out.push_back({"lock-unlisted", d.rel, d.line,
                        "mutex '" + d.name +
                            "' is not listed in lock_hierarchy.txt"});

@@ -1,0 +1,235 @@
+// Sim-domain purity analysis — the static counterpart of the determinism
+// tests. The SimMachine event loop replays identically given a seed; that
+// only holds if nothing on a sim-reachable path consults state outside the
+// simulation: wall clocks, ambient randomness, or hash-ordered iteration
+// that feeds ordered output (message emission, trace events, worklists).
+//
+// Domain classification: every function is sim-reachable except those whose
+// file belongs to a wall-clock domain by design — the threaded machine
+// (dmcs/thread_machine*), the live service harness (service/), portable
+// support utilities (support/, bench_support/) — plus the forward
+// call-graph closure from the SimMachine files themselves, which pulls
+// sim-only helpers back in even if they live elsewhere. Handlers shared by
+// both machines (mol, prema, ilb) are in the domain: they must be pure to
+// keep the simulator honest.
+//
+//  sim-purity-wallclock  reads steady_clock / system_clock /
+//                        high_resolution_clock on a sim-reachable path.
+//  sim-purity-random     uses std::random_device, rand() or srand() —
+//                        randomness not owned by the seeded simulation RNG.
+//  sim-purity-unordered  range-for over an unordered_map/unordered_set
+//                        field: hash-order iteration feeding whatever the
+//                        loop body emits.
+//
+// `// analyze:allow(<rule>)` on the offending line (or the line above)
+// acknowledges a reviewed exception, e.g. a loop whose results are sorted
+// before use.
+
+#include <set>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Files that are wall-clock / live-thread domains by design.
+bool excluded_file(std::string_view rel) {
+  return rel.find("thread_machine") != std::string_view::npos ||
+         starts_with(rel, "support/") || starts_with(rel, "bench_support/") ||
+         starts_with(rel, "service/");
+}
+
+/// Declared class of `recv` at `use`: an unambiguous member/field type, or a
+/// preceding local/parameter declaration `Cls[&*] recv`.
+std::string receiver_class(const Index& idx, const SourceFile& f,
+                           const FunctionDef& fn, const std::string& recv,
+                           std::size_t use) {
+  if (const auto it = idx.member_types.find(recv); it != idx.member_types.end()) {
+    return it->second;
+  }
+  const std::string_view code = f.code;
+  std::size_t from = fn.name_pos;
+  while (true) {
+    const std::size_t pos = find_ident(code, recv, from, false, false);
+    if (pos == std::string_view::npos || pos >= use) break;
+    from = pos + 1;
+    std::size_t r = pos;
+    while (r > 0 && std::isspace(static_cast<unsigned char>(code[r - 1]))) --r;
+    while (r > 0 && (code[r - 1] == '&' || code[r - 1] == '*')) --r;
+    while (r > 0 && std::isspace(static_cast<unsigned char>(code[r - 1]))) --r;
+    std::size_t tb = r;
+    while (tb > 0 && ident_char(code[tb - 1])) --tb;
+    const std::string word(code.substr(tb, r - tb));
+    if (idx.class_names.count(word) != 0) return word;
+  }
+  return "";
+}
+
+/// Parse the range expression of `for (... : EXPR)` into a member-access
+/// chain of plain identifiers; empty when EXPR is anything more exotic
+/// (a call, arithmetic, an initializer list).
+std::vector<std::string> range_chain(std::string_view expr) {
+  std::vector<std::string> chain;
+  std::size_t p = skip_ws(expr, 0);
+  while (p < expr.size() && (expr[p] == '*' || expr[p] == '&')) {
+    p = skip_ws(expr, p + 1);
+  }
+  while (true) {
+    std::size_t e = p;
+    while (e < expr.size() && ident_char(expr[e])) ++e;
+    if (e == p) return {};
+    chain.emplace_back(expr.substr(p, e - p));
+    p = skip_ws(expr, e);
+    if (p >= expr.size()) return chain;
+    if (expr[p] == '.') {
+      p = skip_ws(expr, p + 1);
+    } else if (expr[p] == '-' && p + 1 < expr.size() && expr[p + 1] == '>') {
+      p = skip_ws(expr, p + 2);
+    } else {
+      return {};  // call parens, indexing, arithmetic — give up
+    }
+  }
+}
+
+}  // namespace
+
+void pass_sim_purity(const Tree& tree, const Options& opts, Findings& out) {
+  (void)opts;
+  const Index idx = build_index(tree);
+
+  // Sim domain: everything outside the excluded wall-clock files, plus the
+  // forward closure from the SimMachine files over resolved call edges.
+  std::vector<char> in_domain(idx.funcs.size(), 0);
+  for (std::size_t fi = 0; fi < idx.funcs.size(); ++fi) {
+    const SourceFile& f =
+        idx.tree->files[static_cast<std::size_t>(idx.funcs[fi].file)];
+    if (f.rel.find("sim_machine") != std::string::npos) {
+      in_domain[fi] = 1;
+    } else if (!excluded_file(f.rel)) {
+      in_domain[fi] = 1;
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const CallSite& call : idx.calls) {
+      if (call.callee < 0) continue;
+      const std::size_t callee = static_cast<std::size_t>(call.callee);
+      const SourceFile& cf =
+          idx.tree->files[static_cast<std::size_t>(idx.funcs[callee].file)];
+      // The closure never drags excluded files back in: a sim function may
+      // legitimately share a *caller* with threaded code, but a function
+      // living in a wall-clock file stays out of the domain.
+      if (excluded_file(cf.rel)) continue;
+      if (in_domain[static_cast<std::size_t>(call.caller)] != 0 &&
+          in_domain[callee] == 0) {
+        in_domain[callee] = 1;
+        changed = true;
+      }
+    }
+  }
+
+  std::set<std::string> reported;
+  auto report = [&](const char* rule, const SourceFile& f, std::size_t pos,
+                    const std::string& key, const std::string& message) {
+    if (allow_comment(f, pos, rule)) return;
+    if (!reported.insert(std::string(rule) + "|" + key).second) return;
+    out.push_back({rule, f.rel, line_of(f.code, pos), message});
+  };
+
+  for (std::size_t fi = 0; fi < idx.funcs.size(); ++fi) {
+    if (in_domain[fi] == 0) continue;
+    const FunctionDef& fn = idx.funcs[fi];
+    const SourceFile& f = idx.tree->files[static_cast<std::size_t>(fn.file)];
+    const std::string_view code = f.code;
+
+    // -- wall clock ---------------------------------------------------------
+    for (const char* clock :
+         {"steady_clock", "system_clock", "high_resolution_clock"}) {
+      std::size_t from = fn.body_begin;
+      while (true) {
+        const std::size_t pos = find_ident(code, clock, from, true, false);
+        if (pos == std::string_view::npos || pos >= fn.body_end) break;
+        from = pos + 1;
+        report("sim-purity-wallclock", f, pos, fn.qual + "|" + clock,
+               "'" + fn.qual + "' reads '" + clock +
+                   "' on a sim-reachable path (simulated time must come from "
+                   "the event engine)");
+      }
+    }
+
+    // -- unowned randomness -------------------------------------------------
+    {
+      const std::size_t pos =
+          find_ident(code, "random_device", fn.body_begin, true, false);
+      if (pos != std::string_view::npos && pos < fn.body_end) {
+        report("sim-purity-random", f, pos, fn.qual + "|random_device",
+               "'" + fn.qual +
+                   "' constructs std::random_device on a sim-reachable path "
+                   "(randomness must come from the seeded run RNG)");
+      }
+    }
+    for (const char* call : {"rand", "srand"}) {
+      const std::size_t pos =
+          find_ident(code, call, fn.body_begin, true, true);
+      if (pos != std::string_view::npos && pos < fn.body_end) {
+        report("sim-purity-random", f, pos,
+               fn.qual + "|" + std::string(call),
+               "'" + fn.qual + "' calls '" + call +
+                   "()' on a sim-reachable path (randomness must come from "
+                   "the seeded run RNG)");
+      }
+    }
+
+    // -- hash-order iteration -----------------------------------------------
+    std::size_t from = fn.body_begin;
+    while (true) {
+      const std::size_t pos = find_ident(code, "for", from, false, false);
+      if (pos == std::string_view::npos || pos >= fn.body_end) break;
+      from = pos + 1;
+      const std::size_t open = skip_ws(code, pos + 3);
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = matching_paren(code, open);
+      if (close == std::string_view::npos || close > fn.body_end) continue;
+      // Top-level ':' that is not part of a '::'.
+      std::size_t colon = std::string_view::npos;
+      int depth = 0;
+      for (std::size_t p = open + 1; p < close; ++p) {
+        const char c = code[p];
+        if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+        if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+        if (c == ':' && depth == 0 && (p == 0 || code[p - 1] != ':') &&
+            (p + 1 >= code.size() || code[p + 1] != ':')) {
+          colon = p;
+          break;
+        }
+      }
+      if (colon == std::string_view::npos) continue;
+      const std::vector<std::string> chain =
+          range_chain(code.substr(colon + 1, close - colon - 1));
+      if (chain.empty()) continue;
+      std::string hint;
+      if (chain.size() >= 2) {
+        hint = receiver_class(idx, f, fn, chain[chain.size() - 2], pos);
+      } else if (const std::size_t sep = fn.qual.rfind("::");
+                 sep != std::string::npos) {
+        hint = fn.qual.substr(0, sep);
+      }
+      const FieldDecl* field = idx.find_field(hint, fn.file, chain.back());
+      if (field == nullptr) continue;
+      if (field->type.find("unordered_") == std::string::npos) continue;
+      report("sim-purity-unordered", f, pos,
+             fn.qual + "|" + field->cls + "::" + field->name,
+             "'" + fn.qual + "' iterates unordered container '" + field->cls +
+                 "::" + field->name +
+                 "' on a sim-reachable path (hash order is not deterministic "
+                 "across platforms)");
+    }
+  }
+}
+
+}  // namespace prema::analyze

@@ -24,6 +24,17 @@
 ///   time-domain    statements mixing wall-clock values (steady_clock,
 ///                  elapsed_s, …) with virtual-time values (now(), SimTime)
 ///                  outside dmcs/thread_machine.*
+///   lock-flow      interprocedural: lock-sets propagated over the call
+///                  graph; noblock locks held across blocking operations,
+///                  PREMA_REQUIRES callees reached without the lock,
+///                  unannotated shared fields written on locked paths
+///   protocol-fsm   machine-readable state-machine specs
+///                  (tools/analyze/protocols/*.txt) vs the handlers that
+///                  mutate protocol state: undeclared transitions, writes
+///                  outside a transition's grant, missing bound trace events
+///   sim-purity     functions sim-reachable from the SimMachine event loop
+///                  must not read wall clocks, construct unowned randomness,
+///                  or iterate unordered containers
 
 namespace prema::analyze {
 
@@ -34,6 +45,9 @@ void pass_lock_order(const Tree& tree, const Options& opts, Findings& out);
 void pass_protocol(const Tree& tree, const Options& opts, Findings& out);
 void pass_serialization(const Tree& tree, const Options& opts, Findings& out);
 void pass_time_domain(const Tree& tree, const Options& opts, Findings& out);
+void pass_lock_flow(const Tree& tree, const Options& opts, Findings& out);
+void pass_protocol_fsm(const Tree& tree, const Options& opts, Findings& out);
+void pass_sim_purity(const Tree& tree, const Options& opts, Findings& out);
 
 using PassFn = void (*)(const Tree&, const Options&, Findings&);
 

@@ -4,6 +4,7 @@
 // the on-disk fixtures under tools/analyze/fixtures/ — the fixtures exercise
 // the CLI end to end, these exercise the passes as library code.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,12 +15,22 @@ namespace prema::analyze {
 namespace {
 
 struct TreeCase {
+  TreeCase(const char* label_, PassFn pass_,
+           std::vector<std::pair<const char*, const char*>> files_,
+           const char* hierarchy_, const char* design_, const char* expect_rule_,
+           std::vector<std::pair<const char*, const char*>> protocols_ = {})
+      : label(label_), pass(pass_), files(std::move(files_)),
+        hierarchy(hierarchy_), design(design_), expect_rule(expect_rule_),
+        protocols(std::move(protocols_)) {}
+
   const char* label;
   PassFn pass;
   std::vector<std::pair<const char*, const char*>> files;  ///< rel -> content
   const char* hierarchy;    ///< lock_hierarchy.txt text ("" = none)
   const char* design;       ///< DESIGN.md text ("" = none)
   const char* expect_rule;  ///< nullptr = expect no findings at all
+  /// Protocol spec files (name -> text) handed to opts.protocol_specs.
+  std::vector<std::pair<const char*, const char*>> protocols;
 };
 
 std::vector<TreeCase> tree_cases() {
@@ -222,6 +233,162 @@ std::vector<TreeCase> tree_cases() {
                      "void f(N* n) { double q = n->now() + 1.0; }\n"}},
                    "", "", nullptr});
 
+  // -- lock-flow -----------------------------------------------------------
+  const char* kNb = "t t_mu noblock\n";
+  cases.push_back({"lock-flow: send under a noblock lock", pass_lock_flow,
+                   {{"dmcs/x.cpp",
+                     "void f(N* n) {\n"
+                     "  util::LockGuard g(t_mu_);\n"
+                     "  n->send(1, m);\n"
+                     "}\n"}},
+                   kNb, "", "lock-flow-blocking"});
+  cases.push_back({"lock-flow: send after the guard scope closes",
+                   pass_lock_flow,
+                   {{"dmcs/x.cpp",
+                     "void f(N* n) {\n"
+                     "  { util::LockGuard g(t_mu_); touch(); }\n"
+                     "  n->send(1, m);\n"
+                     "}\n"}},
+                   kNb, "", nullptr});
+  cases.push_back({"lock-flow: blocking callee reached through the call graph",
+                   pass_lock_flow,
+                   {{"dmcs/x.cpp",
+                     "void leaf(N* n) { n->send(1, m); }\n"
+                     "void f(N* n) {\n"
+                     "  util::LockGuard g(t_mu_);\n"
+                     "  leaf(n);\n"
+                     "}\n"}},
+                   kNb, "", "lock-flow-blocking"});
+  cases.push_back({"lock-flow: cv wait may hold its own guard", pass_lock_flow,
+                   {{"dmcs/x.cpp",
+                     "void f() {\n"
+                     "  util::UniqueLock lk(t_mu_);\n"
+                     "  cv_.wait(lk);\n"
+                     "}\n"}},
+                   kNb, "", nullptr});
+  cases.push_back({"lock-flow: call without the callee's REQUIRES lock",
+                   pass_lock_flow,
+                   {{"dmcs/x.cpp",
+                     "void callee() PREMA_REQUIRES(t_mu_) { touch(); }\n"
+                     "void f() { callee(); }\n"}},
+                   kNb, "", "lock-flow-requires"});
+  cases.push_back({"lock-flow: REQUIRES satisfied by a lexical guard",
+                   pass_lock_flow,
+                   {{"dmcs/x.cpp",
+                     "void callee() PREMA_REQUIRES(t_mu_) { touch(); }\n"
+                     "void f() {\n"
+                     "  util::LockGuard g(t_mu_);\n"
+                     "  callee();\n"
+                     "}\n"}},
+                   kNb, "", nullptr});
+  cases.push_back({"lock-flow: locked write to an unannotated shared field",
+                   pass_lock_flow,
+                   {{"dmcs/x.hpp",
+                     "class C {\n"
+                     " public:\n"
+                     "  void f() PREMA_REQUIRES(t_mu_) { state_ = 1; }\n"
+                     " private:\n"
+                     "  util::Mutex t_mu_;\n"
+                     "  int state_ = 0;\n"
+                     "};\n"}},
+                   kNb, "", "lock-flow-unguarded"});
+  cases.push_back({"lock-flow: GUARDED_BY covers the locked write",
+                   pass_lock_flow,
+                   {{"dmcs/x.hpp",
+                     "class C {\n"
+                     " public:\n"
+                     "  void f() PREMA_REQUIRES(t_mu_) { state_ = 1; }\n"
+                     " private:\n"
+                     "  util::Mutex t_mu_;\n"
+                     "  int state_ PREMA_GUARDED_BY(t_mu_) = 0;\n"
+                     "};\n"}},
+                   kNb, "", nullptr});
+
+  // -- protocol-fsm --------------------------------------------------------
+  const char* kSpec =
+      "protocol demo\n"
+      "files dmcs/\n"
+      "var st_\n"
+      "transition step fn=do_step writes=st_\n";
+  cases.push_back({"protocol-fsm: declared transition writes are legal",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp", "void do_step() { st_ = 1; }\n"}},
+                   "", "", nullptr, {{"demo", kSpec}}});
+  cases.push_back({"protocol-fsm: undeclared handler mutates protocol state",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp",
+                     "void do_step() { st_ = 1; }\n"
+                     "void rogue() { st_ = 2; }\n"}},
+                   "", "", "protocol-fsm-undeclared", {{"demo", kSpec}}});
+  cases.push_back({"protocol-fsm: write outside the transition's grant",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp", "void do_step() { st_ = 1; extra_ = 2; }\n"}},
+                   "", "", "protocol-fsm-extra-write",
+                   {{"demo",
+                     "protocol demo\n"
+                     "files dmcs/\n"
+                     "var st_ extra_\n"
+                     "transition step fn=do_step writes=st_\n"}}});
+  const char* kEmitSpec =
+      "protocol demo\n"
+      "files dmcs/\n"
+      "var st_\n"
+      "transition step fn=do_step writes=st_ emits=step_done\n";
+  cases.push_back({"protocol-fsm: transition must emit its trace event",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp", "void do_step() { st_ = 1; }\n"}},
+                   "", "", "protocol-fsm-missing-emit", {{"demo", kEmitSpec}}});
+  cases.push_back({"protocol-fsm: emitting transition is clean",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp",
+                     "void do_step() { st_ = 1; trace_->step_done(1); }\n"}},
+                   "", "", nullptr, {{"demo", kEmitSpec}}});
+  cases.push_back({"protocol-fsm: transition function missing from the tree",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp", "void other() { touch(); }\n"}},
+                   "", "", "protocol-fsm-missing-fn", {{"demo", kSpec}}});
+  cases.push_back({"protocol-fsm: malformed spec surfaces as a finding",
+                   pass_protocol_fsm,
+                   {{"dmcs/x.cpp", "void do_step() { touch(); }\n"}},
+                   "", "", "protocol-fsm-spec", {{"demo", "transition step\n"}}});
+
+  // -- sim-purity ----------------------------------------------------------
+  cases.push_back({"sim-purity: wall clock inside the sim domain",
+                   pass_sim_purity,
+                   {{"ilb/x.cpp",
+                     "void f() { auto t = std::chrono::steady_clock::now(); }\n"}},
+                   "", "", "sim-purity-wallclock"});
+  cases.push_back({"sim-purity: thread backend may read the wall clock",
+                   pass_sim_purity,
+                   {{"dmcs/thread_machine.cpp",
+                     "void f() { auto t = std::chrono::steady_clock::now(); }\n"}},
+                   "", "", nullptr});
+  cases.push_back({"sim-purity: unseeded randomness in the sim domain",
+                   pass_sim_purity,
+                   {{"mol/x.cpp",
+                     "int f() { std::random_device rd; return rd(); }\n"}},
+                   "", "", "sim-purity-random"});
+  cases.push_back({"sim-purity: iteration over an unordered container",
+                   pass_sim_purity,
+                   {{"ilb/x.hpp",
+                     "class C {\n"
+                     " public:\n"
+                     "  void f() { for (const auto& kv : m_) { use(kv); } }\n"
+                     " private:\n"
+                     "  std::unordered_map<int, int> m_;\n"
+                     "};\n"}},
+                   "", "", "sim-purity-unordered"});
+  cases.push_back({"sim-purity: ordered container iteration is deterministic",
+                   pass_sim_purity,
+                   {{"ilb/x.hpp",
+                     "class C {\n"
+                     " public:\n"
+                     "  void f() { for (const auto& kv : m_) { use(kv); } }\n"
+                     " private:\n"
+                     "  std::map<int, int> m_;\n"
+                     "};\n"}},
+                   "", "", nullptr});
+
   return cases;
 }
 
@@ -233,6 +400,9 @@ bool run_tree_case(const TreeCase& c) {
   Options opts;
   opts.hierarchy_text = c.hierarchy;
   opts.design_text = c.design;
+  for (const auto& [name, text] : c.protocols) {
+    opts.protocol_specs.emplace_back(name, text);
+  }
   Findings out;
   c.pass(tree, opts, out);
 
@@ -252,6 +422,121 @@ bool run_tree_case(const TreeCase& c) {
                  f.rule.c_str(), f.message.c_str());
   }
   return false;
+}
+
+/// Protocol-spec parser checks: the grammar round-trips, malformed input
+/// fails loudly, and line numbers survive for spec-anchored findings.
+int spec_parser_checks(std::size_t& cases_out) {
+  int failures = 0;
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "self-test FAIL: spec parser: %s\n", what);
+    ++failures;
+  };
+
+  ++cases_out;
+  {
+    std::vector<Finding> errs;
+    const auto spec = parse_protocol_spec(
+        "demo.txt",
+        "# comment line\n"
+        "protocol demo\n"
+        "files dmcs/\n"
+        "var a_ b_\n"
+        "var c_\n"
+        "transition open fn=do_open writes=a_,b_ emits=opened\n"
+        "transition close fn=do_close files=mol/ writes=c_  # trailing\n",
+        errs);
+    if (!spec.has_value() || !errs.empty()) {
+      fail("well-formed spec rejected");
+    } else if (spec->name != "demo" || spec->files != "dmcs/" ||
+               spec->vars != std::vector<std::string>{"a_", "b_", "c_"}) {
+      fail("header directives misparsed");
+    } else if (spec->transitions.size() != 2 ||
+               spec->transitions[0].fn != "do_open" ||
+               spec->transitions[0].writes !=
+                   std::vector<std::string>{"a_", "b_"} ||
+               spec->transitions[0].emits != "opened" ||
+               spec->transitions[0].line != 6 ||
+               spec->transitions[1].files != "mol/" ||
+               spec->transitions[1].emits != "") {
+      fail("transition attributes misparsed");
+    }
+  }
+
+  // Each malformed input must produce a protocol-fsm-spec error and nullopt.
+  const char* kBad[] = {
+      "transition step fn=f\n",                          // no protocol/files
+      "protocol demo\nfiles d/\nwat is this\n",          // unknown directive
+      "protocol demo\nfiles d/\ntransition step\n",      // no fn=
+      "protocol demo\nfiles d/\ntransition s fn=f writes=ghost_\n",  // undeclared var
+  };
+  for (const char* text : kBad) {
+    ++cases_out;
+    std::vector<Finding> errs;
+    const auto spec = parse_protocol_spec("bad.txt", text, errs);
+    if (spec.has_value() || errs.empty()) {
+      std::fprintf(stderr, "self-test FAIL: spec parser accepted:\n%s", text);
+      ++failures;
+      continue;
+    }
+    for (const Finding& e : errs) {
+      if (e.rule != "protocol-fsm-spec" || e.file != "bad.txt") {
+        fail("error finding has wrong rule or file");
+        break;
+      }
+    }
+  }
+  return failures;
+}
+
+/// Full-pipeline time budget: all passes over a synthetic tree an order of
+/// magnitude larger than src/ must finish comfortably within CI tolerances,
+/// so quadratic blowups in the index or the interprocedural passes fail the
+/// suite rather than silently slowing every CI run.
+int perf_budget_check(std::size_t& cases_out) {
+  ++cases_out;
+  Tree tree;
+  for (int i = 0; i < 200; ++i) {
+    std::string code;
+    code += "class C" + std::to_string(i) + " {\n public:\n";
+    for (int j = 0; j < 8; ++j) {
+      const std::string fn = "f" + std::to_string(i) + "_" + std::to_string(j);
+      code += "  void " + fn + "(N* n) PREMA_REQUIRES(mu_) {\n";
+      code += "    util::LockGuard g(mu_);\n";
+      code += "    v" + std::to_string(j) + "_ = n->now() + " +
+              std::to_string(j) + ";\n";
+      if (j > 0) {
+        code += "    f" + std::to_string(i) + "_" + std::to_string(j - 1) +
+                "(n);\n";
+      }
+      code += "  }\n";
+    }
+    code += " private:\n  util::Mutex mu_;\n";
+    for (int j = 0; j < 8; ++j) {
+      code += "  double v" + std::to_string(j) +
+              "_ PREMA_GUARDED_BY(mu_) = 0.0;\n";
+    }
+    code += "};\n";
+    tree.files.push_back(
+        make_file("gen/c" + std::to_string(i) + ".hpp", std::move(code)));
+  }
+  Options opts;
+  opts.hierarchy_text = "mu mu recursive\n";
+  Findings out;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_all_passes(tree, opts, out);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  constexpr double kBudgetS = 20.0;
+  if (elapsed > kBudgetS) {
+    std::fprintf(stderr,
+                 "self-test FAIL: %zu-file synthetic tree took %.1fs "
+                 "(budget %.0fs)\n",
+                 tree.files.size(), elapsed, kBudgetS);
+    return 1;
+  }
+  return 0;
 }
 
 /// Report-layer checks: baseline round-trip and SARIF shape.
@@ -291,6 +576,8 @@ int run_self_test() {
     ++cases;
     if (!run_tree_case(c)) ++failures;
   }
+  failures += spec_parser_checks(cases);
+  failures += perf_budget_check(cases);
   failures += report_checks(cases);
 
   // The migrated prema_lint snippets are part of this binary's contract too.
