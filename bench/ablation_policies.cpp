@@ -1,67 +1,117 @@
 // Ablation: PREMA's pluggable policy suite (§4: Work Stealing, Diffusion,
-// Multi-list Scheduling, plus Gradient and a centralized Master) on the
-// synthetic workload. The framework is the paper's contribution; the policy
-// is a plug-in — this shows several of them running unchanged on top of it.
+// Multi-list Scheduling, plus Gradient, a centralized Master, and the
+// topology-aware SFC and self-clustering policies) on the synthetic
+// workload. The framework is the paper's contribution; the policy is a
+// plug-in — this shows all of them running unchanged on top of it, on both
+// machine backends, with the object-conservation audit enforced per run.
+//
+// Flags: --policy=<name|all>   one registry policy, or the whole suite
+//        --backend=sim|thread|both
+//        --smoke               CI-sized workload (same structure)
+#include <cstring>
 #include <iostream>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "dmcs/sim_machine.hpp"
-#include "prema/runtime.hpp"
-#include "support/byte_buffer.hpp"
+#include "bench_support/synthetic.hpp"
+#include "support/assert.hpp"
 
-using namespace prema;
+using namespace prema::bench;
 
 namespace {
 
-class WorkUnit : public mol::MobileObject {
- public:
-  explicit WorkUnit(double mflop) : mflop_(mflop) {}
-  [[nodiscard]] std::uint32_t type_id() const override { return 1; }
-  void serialize(util::ByteWriter& w) const override { w.put<double>(mflop_); }
-  static std::unique_ptr<mol::MobileObject> make(util::ByteReader& r) {
-    return std::make_unique<WorkUnit>(r.get<double>());
-  }
-  double mflop_;
-};
+const char* kAllPolicies[] = {"null",   "work_stealing", "diffusion",
+                              "gradient", "master",      "multilist",
+                              "sfc",    "cluster"};
 
-double run_policy(const std::string& policy) {
-  sim::MachineConfig mcfg;
-  mcfg.nprocs = 32;
-  mcfg.mflops = 333.0;
-  dmcs::PollingConfig pcfg;
-  pcfg.mode = dmcs::PollingMode::kPreemptive;
-  dmcs::SimMachine machine(mcfg, pcfg);
-  RuntimeConfig rcfg;
-  rcfg.policy = policy;
-  Runtime rt(machine, rcfg);
-  rt.object_types().add(1, WorkUnit::make);
-  const auto work = rt.register_object_handler(
-      "work", [](Context& ctx, mol::MobileObject& obj, util::ByteReader&,
-                 const mol::Delivery&) {
-        ctx.compute(static_cast<WorkUnit&>(obj).mflop_);
-      });
-  rt.set_main([work](Context& ctx) {
-    // 50% of processors start with double-weight units (Fig. 3 shape).
-    const double mflop = ctx.rank() < ctx.nprocs() / 2 ? 500.0 : 250.0;
-    for (int i = 0; i < 200; ++i) {
-      auto ptr = ctx.add_object(std::make_unique<WorkUnit>(mflop));
-      ctx.message(ptr, work, {}, 1.0);
-    }
-  });
-  return rt.run();
+bool known_policy(const std::string& name) {
+  for (const char* p : kAllPolicies) {
+    if (name == p) return true;
+  }
+  return false;
+}
+
+SyntheticConfig make_config(const std::string& backend, bool smoke) {
+  SyntheticConfig cfg;
+  cfg.backend = backend;
+  cfg.heavy_fraction = 0.5;
+  if (backend == "thread") {
+    // Real threads: small fleet, cheap units — the point is exercising the
+    // protocol stack, not wall-clock fidelity.
+    cfg.nprocs = 4;
+    cfg.units_per_proc = smoke ? 12 : 40;
+    cfg.heavy_mflop = 100.0;
+    cfg.light_mflop = 50.0;
+  } else {
+    cfg.nprocs = smoke ? 8 : 32;
+    cfg.units_per_proc = smoke ? 24 : 200;
+    cfg.heavy_mflop = 500.0;
+    cfg.light_mflop = 250.0;
+  }
+  return cfg;
+}
+
+void run_one(const std::string& backend, const std::string& policy, bool smoke) {
+  SyntheticConfig cfg = make_config(backend, smoke);
+  cfg.policy = policy;
+  const RunReport r = run_synthetic(System::kPremaImplicit, cfg);
+  // Conservation must hold for every policy: each unit executed exactly
+  // once, each object resident at exactly one processor, no open handoffs.
+  PREMA_CHECK_MSG(r.audit_ok, "policy ablation: object conservation audit failed");
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  %-6s %-15s makespan %8.2f s  stddev %7.2f  overhead "
+                "%7.4f%%  migr %5llu  audit-ok\n",
+                r.backend.c_str(), r.policy.c_str(), r.makespan, r.comp_stddev,
+                r.overhead_pct, static_cast<unsigned long long>(r.migrations));
+  std::cout << buf;
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "Policy suite on the synthetic workload "
-               "(32 procs x 200 units, 50% heavy 2x)\n";
-  char buf[120];
-  for (const char* policy :
-       {"null", "work_stealing", "diffusion", "gradient", "master", "multilist"}) {
-    std::snprintf(buf, sizeof buf, "  %-15s makespan %8.1f s\n", policy,
-                  run_policy(policy));
-    std::cout << buf;
+int main(int argc, char** argv) {
+  std::string policy = "all";
+  std::string backend = "sim";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--policy=", 9) == 0) {
+      policy = arg + 9;
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      backend = arg + 10;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: " << argv[0]
+                << " [--policy=<name|all>] [--backend=sim|thread|both]"
+                   " [--smoke]\n";
+      return 2;
+    }
+  }
+  if (policy != "all" && !known_policy(policy)) {
+    std::cerr << "unknown policy: " << policy << "\n";
+    return 2;
+  }
+  if (backend != "sim" && backend != "thread" && backend != "both") {
+    std::cerr << "unknown backend: " << backend << "\n";
+    return 2;
+  }
+
+  std::cout << std::unitbuf;
+  std::cout << "Policy suite on the synthetic workload (50% heavy 2x"
+            << (smoke ? ", smoke-sized" : "") << ")\n";
+
+  std::vector<std::string> backends;
+  if (backend == "both" || backend == "sim") backends.emplace_back("sim");
+  if (backend == "both" || backend == "thread") backends.emplace_back("thread");
+
+  for (const auto& be : backends) {
+    if (policy == "all") {
+      for (const char* p : kAllPolicies) run_one(be, p, smoke);
+    } else {
+      run_one(be, policy, smoke);
+    }
   }
   return 0;
 }

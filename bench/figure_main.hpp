@@ -20,6 +20,9 @@
 ///                                 (none | lossy1pct | burst-reorder |
 ///                                 one-slow-node, see EXPERIMENTS.md).
 ///        --fault-seed=<n>         seed the fault plan's RNG streams.
+///        --policy=<name>          override the PREMA panels' balancing
+///                                 policy (any registry name, including the
+///                                 topology-aware sfc and cluster).
 
 namespace prema::bench {
 
@@ -43,11 +46,13 @@ inline int run_figure(int argc, char** argv, const char* title,
       }
     } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
       cfg.fault_seed = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      cfg.policy = arg + 9;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: " << argv[0]
                 << " [--trace-out=<file>] [--fault-profile=<name>]"
-                   " [--fault-seed=<n>]\n";
+                   " [--fault-seed=<n>] [--policy=<name>]\n";
       return 2;
     }
   }
@@ -61,6 +66,9 @@ inline int run_figure(int argc, char** argv, const char* title,
   if (cfg.fault_profile != "none") {
     std::cout << "  fault profile: " << cfg.fault_profile << " (seed "
               << cfg.fault_seed << ") — reliable transport on\n";
+  }
+  if (!cfg.policy.empty()) {
+    std::cout << "  PREMA policy override: " << cfg.policy << "\n";
   }
   std::cout << "==========================================================\n";
 

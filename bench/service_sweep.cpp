@@ -8,9 +8,18 @@
 // Flags: --smoke           short CI-sized windows (same scenario structure)
 //        --out=<path>      JSON report path (default BENCH_service.json)
 //        --backend=<name>  sim | thread | both (default both)
+//        --policy=<name>   sweep only this policy (any registry name,
+//                          including sfc | cluster; default both classics)
+//        --policy-switch=t:name  swap every rank's policy to `name` at the
+//                          first epoch tick at/after machine time t (repeat
+//                          for a schedule). Applied to the mid-window switch
+//                          scenario, which defaults to work_stealing -> sfc
+//                          halfway through the injection window.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_support/bench_json.hpp"
@@ -119,6 +128,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string out = "BENCH_service.json";
   std::string backend = "both";
+  std::string only_policy;
+  std::vector<std::pair<double, std::string>> switches;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--smoke") == 0) {
@@ -127,10 +138,24 @@ int main(int argc, char** argv) {
       out = arg + 6;
     } else if (std::strncmp(arg, "--backend=", 10) == 0) {
       backend = arg + 10;
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      only_policy = arg + 9;
+    } else if (std::strncmp(arg, "--policy-switch=", 16) == 0) {
+      const std::string spec = arg + 16;
+      const auto colon = spec.find(':');
+      char* end = nullptr;
+      const double t = std::strtod(spec.c_str(), &end);
+      if (colon == std::string::npos || colon == 0 ||
+          end != spec.c_str() + colon || colon + 1 >= spec.size()) {
+        std::cerr << "bad --policy-switch spec (want t:name): " << spec << "\n";
+        return 2;
+      }
+      switches.emplace_back(t, spec.substr(colon + 1));
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: " << argv[0]
-                << " [--smoke] [--out=<path>] [--backend=sim|thread|both]\n";
+                << " [--smoke] [--out=<path>] [--backend=sim|thread|both]"
+                   " [--policy=<name>] [--policy-switch=t:name]...\n";
       return 2;
     }
   }
@@ -158,9 +183,16 @@ int main(int argc, char** argv) {
   std::cout << "Service-mode sweep (open-loop arrivals, continuous balancing)"
             << (smoke ? " [smoke]" : "") << "\n";
 
+  std::vector<std::string> policies;
+  if (only_policy.empty()) {
+    policies = {"work_stealing", "diffusion"};
+  } else {
+    policies = {only_policy};
+  }
+
   const double utils[] = {0.5, 0.7, 0.9};
   for (const auto& be : backends) {
-    for (const char* policy : {"work_stealing", "diffusion"}) {
+    for (const auto& policy : policies) {
       for (const double util : utils) {
         ServiceScenario sc = base_scenario(be, smoke);
         sc.policy = policy;
@@ -172,6 +204,7 @@ int main(int argc, char** argv) {
     // stress the balancer with time-varying offered load.
     for (const ArrivalModel m : {ArrivalModel::kBursty, ArrivalModel::kDiurnal}) {
       ServiceScenario sc = base_scenario(be, smoke);
+      sc.policy = policies.front();
       sc.arrivals.model = m;
       set_utilization(sc, 0.7);
       run_and_emit(sc, 0.7, jw);
@@ -182,7 +215,7 @@ int main(int argc, char** argv) {
   // "mid-pause" profile; the balancer must route around it and the delivery
   // audit must still balance. Sim backend (pause release is emulator-driven).
   if (backend != "thread") {
-    for (const char* policy : {"work_stealing", "diffusion"}) {
+    for (const auto& policy : policies) {
       ServiceScenario sc = base_scenario("sim", smoke);
       sc.policy = policy;
       sc.fault_profile = "mid-pause";
@@ -190,6 +223,21 @@ int main(int argc, char** argv) {
       set_utilization(sc, 0.7);
       run_and_emit(sc, 0.7, jw);
     }
+  }
+
+  // Mid-window policy switch: start on work_stealing, swap every rank to a
+  // topology-aware policy at an epoch tick (default sfc halfway through the
+  // injection window, or the --policy-switch schedule), and score the
+  // combined run. Topology accounting is on from t=0 (run_service pre-scans
+  // the schedule), and the conservation audit must still balance across the
+  // swap — in-flight pre-switch traffic included.
+  if (backend != "thread") {
+    ServiceScenario sc = base_scenario("sim", smoke);
+    sc.policy = "work_stealing";
+    if (switches.empty()) switches.emplace_back(sc.duration_s / 2, "sfc");
+    sc.policy_switches = switches;
+    set_utilization(sc, 0.7);
+    run_and_emit(sc, 0.7, jw);
   }
 
   std::cout << "report written to " << out << "\n";

@@ -45,7 +45,14 @@ double run_with_policy(const std::string& policy) {
     // A hot quarter of the machine holds 4x-weight jobs.
     const double mflop = ctx.rank() < ctx.nprocs() / 4 ? 400.0 : 100.0;
     for (int i = 0; i < 100; ++i) {
-      ctx.message(ctx.add_object(std::make_unique<Job>(mflop)), work, {}, 1.0);
+      const auto job = ctx.add_object(std::make_unique<Job>(mflop));
+      // Coordinate along x by home rank: the sfc policy cuts this line into
+      // equal-load segments; scalar policies ignore it (no-op without
+      // topology accounting).
+      ctx.set_coords(job, {(ctx.rank() + (i + 0.5) / 100.0) /
+                               static_cast<double>(ctx.nprocs()),
+                           0.5, 0.5});
+      ctx.message(job, work, {}, mflop / 100.0);
     }
   });
   return rt.run();
@@ -56,10 +63,13 @@ double run_with_policy(const std::string& policy) {
 int main() {
   std::printf("one imbalanced workload, every bundled balancing policy\n");
   std::printf("(16 emulated procs; a quarter of them start with 4x-weight jobs)\n\n");
-  for (const char* policy :
-       {"null", "work_stealing", "diffusion", "gradient", "master", "multilist"}) {
+  for (const char* policy : {"null", "work_stealing", "diffusion", "gradient",
+                             "master", "multilist", "sfc", "cluster"}) {
     std::printf("  %-15s makespan %8.1f emulated seconds\n", policy,
                 run_with_policy(policy));
   }
+  std::printf(
+      "\n(cluster follows object-to-object traffic; these jobs never message\n"
+      " each other, so it correctly stays put and matches the null policy)\n");
   return 0;
 }

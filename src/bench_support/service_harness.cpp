@@ -106,6 +106,13 @@ ServiceReport run_on(dmcs::Machine& machine, const ServiceScenario& sc,
     for (int i = 0; i < sc.shards_per_proc; ++i) {
       mine.push_back(ctx.add_object(
           std::make_unique<RequestShard>(sc.shard_payload_bytes)));
+      // Shard coordinates: ranks along x, slots along y. A no-op unless a
+      // scheduled policy wants topology, so registration is unconditional.
+      mol::Coords c;
+      c.x = (static_cast<double>(ctx.rank()) + 0.5) / ctx.nprocs();
+      c.y = (static_cast<double>(i) + 0.5) / sc.shards_per_proc;
+      c.z = 0.5;
+      ctx.set_coords(mine.back(), c);
     }
   });
 
@@ -114,6 +121,9 @@ ServiceReport run_on(dmcs::Machine& machine, const ServiceScenario& sc,
   svc.epoch_s = sc.epoch_s;
   svc.arrivals = sc.arrivals;
   svc.ledger = &ledger;
+  for (const auto& [t, name] : sc.policy_switches) {
+    svc.policy_switches.push_back({t, name});
+  }
   svc.on_arrival = [&shards, &sc, request_h](Context& ctx,
                                              const service::Arrival& a) {
     const auto& mine = shards[static_cast<std::size_t>(ctx.rank())];
@@ -130,6 +140,10 @@ ServiceReport run_on(dmcs::Machine& machine, const ServiceScenario& sc,
   ServiceReport rep;
   rep.backend = sc.backend;
   rep.policy = sc.policy;
+  for (const auto& [t, name] : sc.policy_switches) {
+    (void)t;
+    rep.policy += "->" + name;  // e.g. "work_stealing->sfc"
+  }
   rep.model = std::string(service::arrival_model_name(sc.arrivals.model));
   rep.fault_profile = sc.fault_profile;
   rep.offered_rate = sc.arrivals.rate_per_proc;

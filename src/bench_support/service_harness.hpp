@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "service/arrivals.hpp"
@@ -43,6 +44,13 @@ struct ServiceScenario {
   /// Balancing policy registry name ("null" disables balancing).
   std::string policy = "work_stealing";
   double low_watermark = 1.0;
+
+  /// Mid-window policy switches, applied in time order at epoch ticks (see
+  /// ServiceConfig::policy_switches). The topology-aware policies (sfc,
+  /// cluster) are the natural switch *targets*: they ignore stray in-flight
+  /// scalar wire tags, and the Balancer absorbs topology-range tags that an
+  /// early-switching rank sends to a peer still running a scalar policy.
+  std::vector<std::pair<double, std::string>> policy_switches;
 
   /// Canned fault profile; "mid-pause" is the elasticity scenario (node 1
   /// leaves mid-run). Anything but "none" engages reliable transport.

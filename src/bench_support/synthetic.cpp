@@ -3,9 +3,13 @@
 #include <memory>
 #include <ostream>
 
+#include <algorithm>
+#include <cmath>
+
 #include "bench_support/stop_repartition.hpp"
 #include "charm/charmlite.hpp"
 #include "dmcs/sim_machine.hpp"
+#include "dmcs/thread_machine.hpp"
 #include "fault/fault_plan.hpp"
 #include "ilb/policies/work_stealing.hpp"
 #include "prema/runtime.hpp"
@@ -144,24 +148,53 @@ void finalize(RunReport& r, const SyntheticConfig& cfg) {
   (void)cfg;
 }
 
+/// Unit coordinates for the topology-aware policies: units laid out on a
+/// cubic grid in creation order, so curve locality mirrors index locality.
+/// Registration is unconditional — a no-op unless the policy wants topology.
+mol::Coords unit_coords(std::int64_t g, std::int64_t total) {
+  const auto side = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(std::cbrt(static_cast<double>(total)))));
+  const double inv = 1.0 / static_cast<double>(side);
+  mol::Coords c;
+  c.x = (static_cast<double>(g % side) + 0.5) * inv;
+  c.y = (static_cast<double>((g / side) % side) + 0.5) * inv;
+  c.z = (static_cast<double>(g / (side * side)) + 0.5) * inv;
+  return c;
+}
+
 RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
-  sim::MachineConfig mcfg;
-  mcfg.nprocs = cfg.nprocs;
-  mcfg.mflops = cfg.proc_mflops;
-  mcfg.seed = cfg.seed;
+  const bool sim_backend = cfg.backend != "thread";
   dmcs::PollingConfig pcfg;
   pcfg.mode = sys == System::kPremaImplicit ? dmcs::PollingMode::kPreemptive
                                             : dmcs::PollingMode::kExplicit;
   pcfg.interval_s = cfg.poll_interval_s;
-  dmcs::SimMachine machine(mcfg, pcfg);
+
+  std::unique_ptr<dmcs::Machine> owner;
+  if (sim_backend) {
+    sim::MachineConfig mcfg;
+    mcfg.nprocs = cfg.nprocs;
+    mcfg.mflops = cfg.proc_mflops;
+    mcfg.seed = cfg.seed;
+    owner = std::make_unique<dmcs::SimMachine>(mcfg, pcfg);
+  } else {
+    dmcs::ThreadConfig tcfg;
+    tcfg.nprocs = cfg.nprocs;
+    tcfg.mflops = cfg.thread_mflops;
+    tcfg.polling = pcfg;
+    tcfg.seed = cfg.seed;
+    owner = std::make_unique<dmcs::ThreadMachine>(tcfg);
+  }
+  dmcs::Machine& machine = *owner;
   maybe_install_fault_plan(machine, cfg);
 
   RuntimeConfig rcfg;
   rcfg.trace.enabled = !cfg.trace_out.empty();
-  rcfg.policy = sys == System::kNoLB ? "null" : "work_stealing";
+  std::string policy = cfg.policy;
+  if (policy.empty()) policy = sys == System::kNoLB ? "null" : "work_stealing";
+  rcfg.policy = policy;
   rcfg.balancer.low_watermark = cfg.low_watermark;
   rcfg.balancer.donate_threshold = 2 * cfg.low_watermark;
-  if (sys != System::kNoLB) {
+  if (policy == "work_stealing") {
     ilb::WorkStealingParams params;
     params.max_objects_per_grant = cfg.max_grant_objects;
     rcfg.policy_factory = [params] {
@@ -171,12 +204,14 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
   Runtime rt(machine, rcfg);
   rt.object_types().add(1, WorkUnit::make);
 
-  std::int64_t executed = 0;
+  // Indexed by executing rank: each worker thread writes only its own slot,
+  // so the counters are race-free on both backends.
+  std::vector<std::int64_t> executed_by(static_cast<std::size_t>(cfg.nprocs), 0);
   const auto work = rt.register_object_handler(
-      "bench.work", [&executed](Context& ctx, mol::MobileObject& obj, ByteReader&,
-                                const mol::Delivery&) {
+      "bench.work", [&executed_by](Context& ctx, mol::MobileObject& obj,
+                                   ByteReader&, const mol::Delivery&) {
         ctx.compute(static_cast<WorkUnit&>(obj).mflop_);
-        ++executed;
+        ++executed_by[static_cast<std::size_t>(ctx.rank())];
       });
 
   const std::int64_t total = static_cast<std::int64_t>(cfg.nprocs) * cfg.units_per_proc;
@@ -188,6 +223,7 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
       const double mflop = unit_mflop(cfg, g, total);
       auto ptr = ctx.add_object(
           std::make_unique<WorkUnit>(mflop, cfg.unit_payload_bytes));
+      ctx.set_coords(ptr, unit_coords(g, total));
       const double hint = cfg.accurate_hints ? mflop / cfg.light_mflop : 1.0;
       ctx.message(ptr, work, {}, hint);
     }
@@ -197,25 +233,28 @@ RunReport run_prema_family(System sys, const SyntheticConfig& cfg) {
   RunReport rep;
   rep.system = sys;
   rep.label = system_name(sys);
+  rep.policy = policy;
+  rep.backend = sim_backend ? "sim" : "thread";
   rep.makespan = rt.run();
-  rep.executed = executed;
-  std::size_t resident = 0;
-  std::size_t in_transit = 0;
   for (ProcId p = 0; p < cfg.nprocs; ++p) {
+    rep.executed += executed_by[static_cast<std::size_t>(p)];
     rep.ledgers.push_back(machine.ledger(p));
     rep.migrations += rt.mol_at(p).stats().migrations_in;
-    resident += rt.mol_at(p).local_count();
-    in_transit += rt.mol_at(p).in_transit_count();
+    rep.resident += rt.mol_at(p).local_count();
+    rep.in_transit += rt.mol_at(p).in_transit_count();
   }
+  rep.audit_ok = rep.executed == total &&
+                 rep.resident == static_cast<std::size_t>(total) &&
+                 rep.in_transit == 0;
   if (machine.fault_plan() != nullptr) {
     // Delivery-ledger checks: under any fault plan the run must still execute
     // every unit exactly once and end with every mobile object resident at
     // exactly one processor and no migration handoff left open.
-    PREMA_CHECK_MSG(executed == total,
+    PREMA_CHECK_MSG(rep.executed == total,
                     "delivery ledger: units executed != units created");
-    PREMA_CHECK_MSG(resident == static_cast<std::size_t>(total),
+    PREMA_CHECK_MSG(rep.resident == static_cast<std::size_t>(total),
                     "delivery ledger: mobile objects lost or cloned");
-    PREMA_CHECK_MSG(in_transit == 0,
+    PREMA_CHECK_MSG(rep.in_transit == 0,
                     "delivery ledger: migration handoffs left open");
   }
   finalize(rep, cfg);
@@ -352,9 +391,13 @@ RunReport run_synthetic(System sys, const SyntheticConfig& cfg) {
     case System::kPremaImplicit:
       return run_prema_family(sys, cfg);
     case System::kStopRepartition:
+      PREMA_CHECK_MSG(cfg.backend != "thread",
+                      "stop-and-repartition runs on the sim backend only");
       return run_srp(cfg);
     case System::kCharmNoSync:
     case System::kCharmSync:
+      PREMA_CHECK_MSG(cfg.backend != "thread",
+                      "the Charm panels run on the sim backend only");
       return run_charm(sys, cfg);
   }
   PREMA_CHECK_MSG(false, "unknown system");

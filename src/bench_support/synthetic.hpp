@@ -36,6 +36,17 @@ const char* system_panel(System s);  ///< (a)..(f) per the paper's figures
 struct SyntheticConfig {
   int nprocs = 128;
   int units_per_proc = 864;
+  /// Balancing-policy registry name for the PREMA systems. Empty keeps the
+  /// legacy mapping (kNoLB -> "null", the other panels -> "work_stealing"
+  /// with the grant-size tuning below); any ilb::make_policy name — including
+  /// the topology-aware "sfc" and "cluster" — overrides it. Units always
+  /// register grid coordinates (a no-op unless the policy wants topology).
+  std::string policy;
+  /// Machine backend for the PREMA systems: "sim" (emulated, deterministic)
+  /// or "thread" (real OS threads). SRP/Charm panels are sim-only.
+  std::string backend = "sim";
+  /// Real-thread compute conversion rate (backend == "thread").
+  double thread_mflops = 2000.0;
   /// Fraction of all work units that are heavy (0.5 or 0.1 in the paper).
   double heavy_fraction = 0.5;
   double heavy_mflop = 500.0;
@@ -83,6 +94,8 @@ struct SyntheticConfig {
 struct RunReport {
   System system{};
   std::string label;
+  std::string policy;   ///< resolved policy name (PREMA systems; "" otherwise)
+  std::string backend;  ///< "sim" | "thread"
   double makespan = 0.0;
   std::vector<util::TimeLedger> ledgers;
 
@@ -97,6 +110,14 @@ struct RunReport {
   double sync_pct = 0.0;        ///< sync_total / comp_total * 100
   std::uint64_t migrations = 0;
   std::int64_t executed = 0;
+
+  /// Conservation audit (PREMA systems): every unit executed exactly once,
+  /// every mobile object resident at exactly one processor, no migration
+  /// handoff left open. Checked fatally under fault plans; always reported.
+  std::size_t resident = 0;
+  std::size_t in_transit = 0;
+  bool audit_ok = false;
+
   /// Path the Chrome trace was written to ("" when tracing was off).
   std::string trace_file;
 };

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 
 #include "dmcs/node.hpp"
 #include "ilb/policy.hpp"
@@ -31,10 +33,18 @@ struct BalancerConfig {
   double decision_cost_s = 5e-6;
   /// Master switch; off = "no load balancing" baseline.
   bool enabled = true;
+  /// Period of the framework's gossip broadcast (topology policies only):
+  /// every interval each processor sends its GossipSummary to all peers, so
+  /// a remote digest is at most one interval plus one message latency stale.
+  double gossip_interval_s = 50e-3;
 };
 
 class Balancer final : public PolicyContext {
  public:
+  /// Framework-reserved policy wire tag for GossipSummary broadcasts;
+  /// intercepted by on_wire before policy dispatch (policies use 1..254).
+  static constexpr PolicyTag kGossipTag = 255;
+
   Balancer(dmcs::Node& node, mol::Mol& mol, Scheduler& sched,
            std::unique_ptr<Policy> policy, BalancerConfig cfg,
            dmcs::HandlerId policy_wire_h);
@@ -53,6 +63,16 @@ class Balancer final : public PolicyContext {
 
   [[nodiscard]] const BalancerConfig& config() const { return cfg_; }
   [[nodiscard]] Policy& policy() { return *policy_; }
+
+  /// Swap in a new policy mid-run (service-mode switch schedules). The old
+  /// policy's in-flight wire messages may still arrive and are delivered to
+  /// the new policy — so a switch target must tolerate stray tags (sfc and
+  /// cluster do; the scalar paper policies assert on unknown tags and are
+  /// only safe as the *first* policy in a schedule). Gossip state and the
+  /// interned trace name are reset; the new policy is init()-ed. Switching
+  /// does NOT toggle MOL topology accounting — the runtime enables it up
+  /// front when any scheduled policy wants it.
+  void switch_policy(std::unique_ptr<Policy> policy);
 
   /// Global termination has been detected: stop initiating balancing (poll
   /// events and timer wakeups become no-ops).
@@ -87,8 +107,30 @@ class Balancer final : public PolicyContext {
   [[nodiscard]] bool peer_degraded(ProcId p) const override {
     return node_.peer_degraded(p);
   }
+  [[nodiscard]] bool topology_enabled() const override {
+    return mol_.topology_enabled();
+  }
+  [[nodiscard]] std::optional<mol::Coords> object_coords(
+      const mol::MobilePtr& ptr) const override {
+    return mol_.coords(ptr);
+  }
+  [[nodiscard]] std::vector<mol::CommEdge> comm_edges() const override {
+    return mol_.comm_graph().edges();
+  }
+  [[nodiscard]] std::vector<mol::ProcTraffic> proc_traffic() const override {
+    return mol_.comm_graph().proc_traffic();
+  }
+  [[nodiscard]] ProcId object_location(const mol::MobilePtr& ptr) const override {
+    return mol_.location_hint(ptr);
+  }
+  [[nodiscard]] std::vector<GossipSummary> gossip() const override;
+  void trace_sfc_cut(std::size_t segments, double imbalance) override;
+  void trace_cluster_merge(ProcId dst, std::size_t objects,
+                           double traffic) override;
 
  private:
+  /// Broadcast this processor's GossipSummary to every peer when due.
+  void maybe_gossip();
   dmcs::Node& node_;
   mol::Mol& mol_;
   Scheduler& sched_;
@@ -103,6 +145,13 @@ class Balancer final : public PolicyContext {
   // since the last poll — one "balancing round" for the histogram.
   trace::StrId policy_name_id_ = 0;
   std::uint64_t migrations_this_round_ = 0;
+
+  // Gossip: latest digest per remote processor (ordered for deterministic
+  // policy iteration) and the next broadcast due-time. Only populated when
+  // the active policy wants topology. Touched only from under the node's
+  // state lock (poll and wire handlers both run there).
+  std::map<ProcId, GossipSummary> gossip_;
+  double next_gossip_ = 0.0;
 };
 
 }  // namespace prema::ilb

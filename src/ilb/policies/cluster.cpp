@@ -1,0 +1,137 @@
+#include "ilb/policies/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace prema::ilb {
+
+void ClusterPolicy::init(PolicyContext& ctx) {
+  next_eval_ = ctx.now();
+  idle_rounds_ = 0;
+}
+
+void ClusterPolicy::on_poll(PolicyContext& ctx) {
+  const double t = ctx.now();
+  if (t >= next_eval_) {
+    next_eval_ = t + params_.eval_interval_s;
+    evaluate(ctx);
+  }
+  if (idle_rounds_ < params_.max_idle_rounds) {
+    ctx.request_poll_after(params_.eval_interval_s);
+  }
+}
+
+void ClusterPolicy::on_work_arrived(PolicyContext& ctx) {
+  if (idle_rounds_ >= params_.max_idle_rounds) {
+    idle_rounds_ = 0;
+    ctx.request_poll_after(0.0);
+  }
+}
+
+void ClusterPolicy::evaluate(PolicyContext& ctx) {
+  ++stats_.evaluations;
+  const ProcId me = ctx.rank();
+  const auto migratable = ctx.migratable();
+  const auto edges = ctx.comm_edges();
+  if (migratable.empty() || edges.empty()) {
+    ++idle_rounds_;
+    return;
+  }
+
+  std::set<mol::MobilePtr> movable;
+  for (const auto& obj : migratable) movable.insert(obj.ptr);
+
+  // Split each local object's outgoing traffic into internal (the peer
+  // object lives here too) and external per destination processor, by the
+  // MOL's best-known location. Totals feed the co-migration fraction.
+  struct Traffic {
+    std::uint64_t internal = 0;
+    std::uint64_t total = 0;
+    std::map<ProcId, std::uint64_t> external;
+    std::map<mol::MobilePtr, std::uint64_t> local_partner;
+  };
+  std::map<mol::MobilePtr, Traffic> traffic;
+  for (const auto& e : edges) {
+    if (movable.find(e.src) == movable.end()) continue;
+    Traffic& tr = traffic[e.src];
+    tr.total += e.bytes;
+    const ProcId loc = ctx.object_location(e.dst);
+    if (loc == me) {
+      tr.internal += e.bytes;
+      tr.local_partner[e.dst] += e.bytes;
+    } else if (loc != kNoProc) {
+      tr.external[loc] += e.bytes;
+    }
+  }
+
+  // Gossiped peer loads gate destinations (bounded-staleness view).
+  std::map<ProcId, double> peer_load;
+  for (const auto& s : ctx.gossip()) peer_load[s.proc] = s.load;
+  const double my_load = ctx.local_load();
+
+  std::set<mol::MobilePtr> shipped;
+  int moves = 0;
+  for (const auto& [ptr, tr] : traffic) {
+    if (moves >= params_.max_moves_per_round) break;
+    if (shipped.count(ptr) != 0) continue;
+    // Best external partner processor for this object.
+    ProcId best = kNoProc;
+    std::uint64_t best_bytes = 0;
+    for (const auto& [proc, bytes] : tr.external) {
+      if (bytes > best_bytes) {
+        best = proc;
+        best_bytes = bytes;
+      }
+    }
+    if (best == kNoProc || best_bytes < params_.min_traffic_bytes) continue;
+    if (static_cast<double>(best_bytes) <=
+        params_.affinity_ratio * static_cast<double>(tr.internal)) {
+      continue;
+    }
+    if (ctx.peer_degraded(best)) continue;
+    // Don't pile onto a processor the gossip says is already busier.
+    const auto pl = peer_load.find(best);
+    if (pl != peer_load.end() &&
+        pl->second > params_.overshoot_factor * my_load) {
+      continue;
+    }
+
+    ctx.migrate_object(ptr, best);
+    shipped.insert(ptr);
+    ++stats_.objects_moved;
+    ++moves;
+    double batch_traffic = static_cast<double>(best_bytes);
+    std::size_t batch = 1;
+
+    // Co-migrate local partners that mostly talk to the departing object,
+    // so the clique moves as one instead of re-discovering the affinity a
+    // round later (and paying another migration).
+    for (const auto& [partner, bytes] : tr.local_partner) {
+      if (shipped.count(partner) != 0 || movable.find(partner) == movable.end()) {
+        continue;
+      }
+      const auto pit = traffic.find(partner);
+      const std::uint64_t partner_total = pit != traffic.end()
+                                              ? pit->second.total + bytes
+                                              : bytes;
+      if (static_cast<double>(bytes) <
+          params_.co_migrate_fraction * static_cast<double>(partner_total)) {
+        continue;
+      }
+      ctx.migrate_object(partner, best);
+      shipped.insert(partner);
+      ++stats_.co_migrations;
+      batch_traffic += static_cast<double>(bytes);
+      ++batch;
+    }
+    ctx.trace_cluster_merge(best, batch, batch_traffic);
+  }
+
+  if (shipped.empty() && my_load <= 0.0) {
+    ++idle_rounds_;
+  } else {
+    idle_rounds_ = 0;
+  }
+}
+
+}  // namespace prema::ilb

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ilb/policy.hpp"
+
+/// \file cluster.hpp
+/// Communication-aware self-clustering (after D'Angelo's adaptive
+/// entity-migration scheme, arXiv:1610.01295): each processor watches its
+/// objects' traffic through the comm graph and migrates an object toward the
+/// processor it talks to the most — but only when that external traffic
+/// outweighs the object's local (internal) traffic, so chatty cliques
+/// consolidate instead of oscillating. Objects that talk mostly to a local
+/// partner are co-migrated with it, keeping the clique together.
+///
+/// Purely local decisions: no policy wire protocol at all. Remote load comes
+/// from the framework's gossip digests, which bound how far a migration can
+/// overshoot an already-loaded destination.
+
+namespace prema::ilb {
+
+struct ClusterParams {
+  /// Evaluation cadence per processor (also the poll re-arm period).
+  double eval_interval_s = 10e-3;
+  /// Migrate only when external traffic exceeds internal by this factor.
+  double affinity_ratio = 1.5;
+  /// Ignore candidates below this many bytes of external traffic (noise).
+  std::uint64_t min_traffic_bytes = 1024;
+  /// Max objects shipped per evaluation (primary moves; co-migrations ride
+  /// along on top).
+  int max_moves_per_round = 4;
+  /// Co-migrate a local partner when at least this fraction of its total
+  /// traffic is with the departing object.
+  double co_migrate_fraction = 0.5;
+  /// Never migrate to a peer whose gossiped load exceeds ours by this factor.
+  double overshoot_factor = 1.0;
+  /// Stop re-arming the poll timer after this many consecutive evaluations
+  /// with nothing to do (lets run-to-quiescence workloads terminate).
+  int max_idle_rounds = 3;
+};
+
+class ClusterPolicy final : public Policy {
+ public:
+  explicit ClusterPolicy(ClusterParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "cluster"; }
+  [[nodiscard]] bool wants_topology() const override { return true; }
+  void init(PolicyContext& ctx) override;
+  void on_poll(PolicyContext& ctx) override;
+  void on_message(PolicyContext&, ProcId, PolicyTag, util::ByteReader&) override {
+    // No wire protocol of its own; stray tags from a pre-switch policy are
+    // deliberately ignored.
+  }
+  void on_work_arrived(PolicyContext& ctx) override;
+  void on_gossip(PolicyContext&, const GossipSummary&) override {}
+
+  struct Stats {
+    std::uint64_t evaluations = 0;
+    std::uint64_t objects_moved = 0;
+    std::uint64_t co_migrations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void evaluate(PolicyContext& ctx);
+
+  ClusterParams params_;
+  Stats stats_;
+  double next_eval_ = 0.0;
+  int idle_rounds_ = 0;
+};
+
+}  // namespace prema::ilb

@@ -3,7 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "ilb/policy.hpp"
+#include "ilb/policies/stateless.hpp"
 
 /// \file diffusion.hpp
 /// Cybenko-style diffusion (paper reference [7]): each processor exchanges
@@ -23,7 +23,7 @@ struct DiffusionParams {
   double min_gap = 1.0;
 };
 
-class DiffusionPolicy final : public Policy {
+class DiffusionPolicy final : public StatelessPolicy {
  public:
   explicit DiffusionPolicy(DiffusionParams params = {}) : params_(params) {}
 

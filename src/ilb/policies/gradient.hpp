@@ -3,7 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "ilb/policy.hpp"
+#include "ilb/policies/stateless.hpp"
 
 /// \file gradient.hpp
 /// Gradient-model balancing (Lin & Keller): every processor maintains a
@@ -22,7 +22,7 @@ struct GradientParams {
   double announce_interval_s = 20e-3;
 };
 
-class GradientPolicy final : public Policy {
+class GradientPolicy final : public StatelessPolicy {
  public:
   explicit GradientPolicy(GradientParams params = {}) : params_(params) {}
 

@@ -3,7 +3,7 @@
 #include <deque>
 #include <vector>
 
-#include "ilb/policy.hpp"
+#include "ilb/policies/stateless.hpp"
 
 /// \file master.hpp
 /// Centralized manager policy: rank 0 keeps an (eventually consistent) view
@@ -20,7 +20,7 @@ struct MasterParams {
   double report_hysteresis = 0.3;
 };
 
-class MasterPolicy final : public Policy {
+class MasterPolicy final : public StatelessPolicy {
  public:
   explicit MasterPolicy(MasterParams params = {}) : params_(params) {}
 

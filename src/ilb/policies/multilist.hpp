@@ -4,7 +4,7 @@
 #include <map>
 #include <vector>
 
-#include "ilb/policy.hpp"
+#include "ilb/policies/stateless.hpp"
 
 /// \file multilist.hpp
 /// Multi-list scheduling in the spirit of Wu's thesis (paper reference [23]):
@@ -23,7 +23,7 @@ struct MultiListParams {
   double report_hysteresis = 0.3;
 };
 
-class MultiListPolicy final : public Policy {
+class MultiListPolicy final : public StatelessPolicy {
  public:
   explicit MultiListPolicy(MultiListParams params = {}) : params_(params) {}
 

@@ -1,6 +1,6 @@
 #pragma once
 
-#include "ilb/policy.hpp"
+#include "ilb/policies/stateless.hpp"
 
 /// \file null_policy.hpp
 /// The "no load balancing" baseline: ignores every event. Work executes where
@@ -8,7 +8,7 @@
 
 namespace prema::ilb {
 
-class NullPolicy final : public Policy {
+class NullPolicy final : public StatelessPolicy {
  public:
   [[nodiscard]] std::string_view name() const override { return "null"; }
   void on_message(PolicyContext&, ProcId, PolicyTag, util::ByteReader&) override {}

@@ -1,0 +1,201 @@
+#include "ilb/policies/sfc.hpp"
+
+#include <algorithm>
+
+namespace prema::ilb {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+void SfcPolicy::init(PolicyContext& ctx) {
+  next_report_ = ctx.now();
+  next_recut_ = ctx.now();
+  idle_reports_ = 0;
+}
+
+std::uint32_t SfcPolicy::bucket_of(PolicyContext& ctx,
+                                   const mol::MobilePtr& ptr) const {
+  if (const auto c = ctx.object_coords(ptr)) {
+    const std::uint64_t key =
+        params_.hilbert ? hilbert_key(*c, params_.box) : morton_key(*c, params_.box);
+    return static_cast<std::uint32_t>(key >> (3 * kSfcBitsPerDim - kBucketBits));
+  }
+  // No coordinates registered: hash the mobile pointer to a stable bucket so
+  // the object has a fixed place on the curve (Knuth multiplicative hash).
+  const std::uint64_t h =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ptr.home)) * 2654435761u) ^
+      (static_cast<std::uint64_t>(ptr.index) * 2246822519u);
+  return static_cast<std::uint32_t>(h % kBuckets);
+}
+
+void SfcPolicy::on_poll(PolicyContext& ctx) {
+  const double t = ctx.now();
+  if (t >= next_report_) {
+    next_report_ = t + params_.report_interval_s;
+    report(ctx);
+    if (ctx.rank() == 0) maybe_recut(ctx);
+  }
+  // Keep the cadence alive while the machine has work; go quiet after a few
+  // idle reports so run-to-quiescence workloads can terminate.
+  if (idle_reports_ < params_.max_idle_reports) {
+    ctx.request_poll_after(params_.report_interval_s);
+  }
+}
+
+void SfcPolicy::on_work_arrived(PolicyContext& ctx) {
+  if (idle_reports_ >= params_.max_idle_reports) {
+    idle_reports_ = 0;
+    ctx.request_poll_after(0.0);
+  }
+}
+
+void SfcPolicy::report(PolicyContext& ctx) {
+  std::map<std::uint32_t, double> hist;
+  double total = 0.0;
+  for (const auto& obj : ctx.migratable()) {
+    hist[bucket_of(ctx, obj.ptr)] += obj.weight;
+    total += obj.weight;
+  }
+  if (total <= 0.0 && ctx.local_load() <= 0.0) {
+    ++idle_reports_;
+  } else {
+    idle_reports_ = 0;
+  }
+  ++stats_.reports_sent;
+  if (ctx.rank() == 0) {
+    reports_[0] = std::move(hist);
+    return;  // the coordinator's own report never touches the wire
+  }
+  // wire:ilb.sfc-hist pack w
+  ByteWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(hist.size()));
+  for (const auto& [bucket, load] : hist) {
+    w.put<std::uint32_t>(bucket);
+    w.put<double>(load);
+  }
+  ctx.send_policy(0, kHist, w.take());
+}
+
+void SfcPolicy::maybe_recut(PolicyContext& ctx) {
+  // Wait until every rank has reported at least once since the last cut:
+  // recutting from a partial picture migrates against stale load. Also let
+  // the previous wave of shipments land first (min_recut_interval_s) — an
+  // object in transit is on nobody's report, so back-to-back decisions
+  // would chase the hole the last decision made.
+  if (static_cast<int>(reports_.size()) < ctx.nprocs()) return;
+  if (ctx.now() < next_recut_) return;
+
+  std::map<std::uint32_t, double> merged;
+  double total = 0.0;
+  double current_max = 0.0;  // heaviest rank under the *current* placement
+  for (const auto& [rank, hist] : reports_) {
+    double rank_load = 0.0;
+    for (const auto& [bucket, load] : hist) {
+      merged[bucket] += load;
+      rank_load += load;
+    }
+    total += rank_load;
+    current_max = std::max(current_max, rank_load);
+  }
+  if (total <= 0.0) return;  // machine is draining; nothing to cut
+
+  // Equal-load cuts by prefix sum along the curve: rank p's segment starts
+  // where the running load first reaches p * total / nprocs.
+  const int nprocs = ctx.nprocs();
+  const double share = total / nprocs;
+  std::vector<std::uint32_t> start(static_cast<std::size_t>(nprocs), 0);
+  std::vector<double> seg_load(static_cast<std::size_t>(nprocs), 0.0);
+  int seg = 0;
+  double prefix = 0.0;
+  for (const auto& [bucket, load] : merged) {
+    // Advance to the segment this bucket's prefix midpoint belongs to; a
+    // bucket is never split, so segments are contiguous bucket ranges.
+    while (seg + 1 < nprocs && prefix + load / 2.0 >= (seg + 1) * share) {
+      ++seg;
+      start[static_cast<std::size_t>(seg)] = bucket;
+    }
+    seg_load[static_cast<std::size_t>(seg)] += load;
+    prefix += load;
+  }
+  const double max_seg = *std::max_element(seg_load.begin(), seg_load.end());
+  const double imbalance = max_seg / share;
+  // Recut only when the *current* placement is out of balance AND the
+  // proposed cuts strictly improve it. Gating on the proposal alone
+  // thrashes: proposed cuts equalize by construction, so once bucket
+  // quantization alone exceeds the threshold (small shares near the drain
+  // tail) every report round would re-ship the boundary buckets.
+  const double current_imbalance = current_max / share;
+  if (current_imbalance <= params_.recut_threshold) return;
+  // Require a real improvement margin, not just any improvement.
+  if (imbalance >= params_.improvement_factor * current_imbalance) return;
+  next_recut_ = ctx.now() + params_.min_recut_interval_s;
+
+  ++stats_.cuts_broadcast;
+  ctx.trace_sfc_cut(static_cast<std::size_t>(nprocs), imbalance);
+  // wire:ilb.sfc-cuts pack w
+  ByteWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    w.put<std::uint32_t>(start[static_cast<std::size_t>(p)]);
+  }
+  const auto body = w.take();
+  for (ProcId p = 1; p < nprocs; ++p) ctx.send_policy(p, kCuts, body);
+  start_ = std::move(start);
+  apply_cuts(ctx);
+  // Demand a fresh round of reports before the next recut.
+  reports_.clear();
+}
+
+ProcId SfcPolicy::owner_of(std::uint32_t bucket) const {
+  // start_ is ascending; the owner is the last rank whose segment starts at
+  // or below the bucket.
+  ProcId owner = 0;
+  for (std::size_t p = 1; p < start_.size(); ++p) {
+    if (start_[p] <= bucket) owner = static_cast<ProcId>(p);
+  }
+  return owner;
+}
+
+void SfcPolicy::apply_cuts(PolicyContext& ctx) {
+  if (start_.empty()) return;
+  const ProcId me = ctx.rank();
+  for (const auto& obj : ctx.migratable()) {
+    const ProcId owner = owner_of(bucket_of(ctx, obj.ptr));
+    if (owner == me || ctx.peer_degraded(owner)) continue;
+    ctx.migrate_object(obj.ptr, owner);
+    ++stats_.objects_shipped;
+  }
+}
+
+void SfcPolicy::on_message(PolicyContext& ctx, ProcId from, PolicyTag tag,
+                           ByteReader& body) {
+  if (tag == kHist) {
+    if (ctx.rank() != 0) return;  // stale report after a coordinator change
+    // wire:ilb.sfc-hist unpack body
+    std::map<std::uint32_t, double> hist;
+    const auto n = body.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto bucket = body.get<std::uint32_t>();
+      const auto load = body.get<double>();
+      hist[bucket] += load;
+    }
+    reports_[from] = std::move(hist);
+    maybe_recut(ctx);
+    return;
+  }
+  if (tag == kCuts) {
+    // wire:ilb.sfc-cuts unpack body
+    const auto n = body.get<std::uint32_t>();
+    std::vector<std::uint32_t> start(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      start[i] = body.get<std::uint32_t>();
+    }
+    start_ = std::move(start);
+    apply_cuts(ctx);
+    return;
+  }
+  // Foreign tag: a stray in-flight message from a pre-switch policy
+  // (service-mode switch schedules). Deliberately ignored.
+}
+
+}  // namespace prema::ilb

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "ilb/policy.hpp"
+
+namespace prema::ilb {
+
+/// Base for scalar-only policies: defaults the topology half of the Policy
+/// interface in one place so the five paper policies (and null) don't each
+/// stub it. A StatelessPolicy never asks for topology accounting, so runs
+/// under it keep byte-identical traces with the pre-topology framework
+/// (test_determinism's ScalarPoliciesByteIdentical locks this in).
+class StatelessPolicy : public Policy {
+ public:
+  [[nodiscard]] bool wants_topology() const final { return false; }
+  void on_gossip(PolicyContext&, const GossipSummary&) final {}
+};
+
+}  // namespace prema::ilb

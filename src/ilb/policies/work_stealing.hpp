@@ -1,6 +1,6 @@
 #pragma once
 
-#include "ilb/policy.hpp"
+#include "ilb/policies/stateless.hpp"
 
 /// \file work_stealing.hpp
 /// The Work Stealing policy the paper's evaluation uses (§4): processors are
@@ -31,7 +31,7 @@ struct WorkStealingParams {
   std::size_t max_objects_per_grant = SIZE_MAX;
 };
 
-class WorkStealingPolicy final : public Policy {
+class WorkStealingPolicy final : public StatelessPolicy {
  public:
   explicit WorkStealingPolicy(WorkStealingParams params = {}) : params_(params) {}
 

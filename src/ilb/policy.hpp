@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "ilb/scheduler.hpp"
+#include "mol/comm_graph.hpp"
 #include "mol/mobile_ptr.hpp"
 #include "support/byte_buffer.hpp"
 #include "support/rng.hpp"
@@ -21,7 +23,34 @@
 namespace prema::ilb {
 
 /// Tag namespace for a policy's own wire messages (one byte on the wire).
+/// Tag 0 is the Balancer's self-tick; 255 is the framework's gossip channel
+/// (Balancer::kGossipTag). Scalar policies use 1..19 and abort on anything
+/// else in that range (fail-fast on corrupt traffic); topology policies use
+/// 20..254 (kTopologyTagBase up). The Balancer absorbs topology-range tags
+/// before a scalar policy ever sees them: around a mid-run policy switch,
+/// ranks swap on their own clocks, so an early-switching rank's first sfc
+/// report can reach a rank whose scalar policy is still active.
 using PolicyTag = std::uint8_t;
+
+/// First tag reserved for topology-aware policies (see PolicyTag).
+inline constexpr PolicyTag kTopologyTagBase = 20;
+
+/// One processor's periodic topology digest, broadcast by the framework's
+/// gossip hook when the active policy wants topology. Staleness is bounded:
+/// a summary is at most one gossip interval plus one message latency old
+/// (see DESIGN.md "Policy layer").
+struct GossipSummary {
+  ProcId proc = kNoProc;
+  /// Sender-local time at which the summary was taken.
+  double t = 0.0;
+  /// Queued load on the sender at that time (same units as local_load()).
+  double load = 0.0;
+  /// Resident mobile objects on the sender.
+  std::uint64_t objects = 0;
+  /// Centroid of the sender's registered object coordinates (zeros when the
+  /// sender has no coordinates registered).
+  mol::Coords centroid;
+};
 
 /// What a policy sees and may do. Implemented by the Balancer.
 class PolicyContext {
@@ -68,6 +97,46 @@ class PolicyContext {
   /// it is retransmitting. Policies should avoid stealing from or donating
   /// to degraded peers. Always false on a fault-free run.
   [[nodiscard]] virtual bool peer_degraded(ProcId) const { return false; }
+
+  // --- Topology view (defaulted: scalar-only policies never see it) -------
+
+  /// True when the MOL is accounting coordinates and message traffic for
+  /// this run. All accessors below return empty views when false.
+  [[nodiscard]] virtual bool topology_enabled() const { return false; }
+
+  /// Application-registered coordinates for a locally known object.
+  [[nodiscard]] virtual std::optional<mol::Coords> object_coords(
+      const mol::MobilePtr&) const {
+    return std::nullopt;
+  }
+
+  /// Snapshot of this processor's object-to-object traffic edges.
+  [[nodiscard]] virtual std::vector<mol::CommEdge> comm_edges() const {
+    return {};
+  }
+
+  /// Snapshot of this processor's outbound per-processor traffic tally.
+  [[nodiscard]] virtual std::vector<mol::ProcTraffic> proc_traffic() const {
+    return {};
+  }
+
+  /// Best-known location of `ptr` (local rank, a forwarding hint, or the
+  /// home directory's guess); kNoProc when nothing is known.
+  [[nodiscard]] virtual ProcId object_location(const mol::MobilePtr&) const {
+    return kNoProc;
+  }
+
+  /// Latest gossip digest per remote processor (bounded staleness; may be
+  /// empty early in the run, before the first gossip interval elapses).
+  [[nodiscard]] virtual std::vector<GossipSummary> gossip() const {
+    return {};
+  }
+
+  /// Trace hooks for the topology policies' decision events. No-ops when
+  /// tracing is off (and on contexts that do not implement them).
+  virtual void trace_sfc_cut(std::size_t /*segments*/, double /*imbalance*/) {}
+  virtual void trace_cluster_merge(ProcId /*dst*/, std::size_t /*objects*/,
+                                   double /*traffic*/) {}
 };
 
 /// A pluggable dynamic load-balancing strategy.
@@ -90,11 +159,22 @@ class Policy {
 
   /// New work (message or migrated object) arrived locally.
   virtual void on_work_arrived(PolicyContext&) {}
+
+  /// Whether this policy consumes the topology view. When true, the runtime
+  /// turns on MOL coordinate/traffic accounting before the run starts and
+  /// the Balancer broadcasts periodic GossipSummary digests. Scalar-only
+  /// policies inherit `false` from StatelessPolicy, which keeps their wire
+  /// and trace bytes identical to the pre-topology framework.
+  [[nodiscard]] virtual bool wants_topology() const = 0;
+
+  /// A peer's gossip digest arrived (framework channel, tag 255). Only
+  /// fires for policies with wants_topology() == true.
+  virtual void on_gossip(PolicyContext&, const GossipSummary&) = 0;
 };
 
 /// Instantiate a policy from its registry name:
 ///   "null" | "work_stealing" | "diffusion" | "gradient" | "master" |
-///   "multilist"
+///   "multilist" | "sfc" | "cluster"
 /// Aborts on unknown names. `params` is an optional policy-specific knob
 /// string (currently unused; policies take their defaults).
 std::unique_ptr<Policy> make_policy(const std::string& name);

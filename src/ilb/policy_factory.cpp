@@ -1,10 +1,12 @@
 #include "ilb/policy.hpp"
 
+#include "ilb/policies/cluster.hpp"
 #include "ilb/policies/diffusion.hpp"
 #include "ilb/policies/gradient.hpp"
 #include "ilb/policies/master.hpp"
 #include "ilb/policies/multilist.hpp"
 #include "ilb/policies/null_policy.hpp"
+#include "ilb/policies/sfc.hpp"
 #include "ilb/policies/work_stealing.hpp"
 #include "support/assert.hpp"
 
@@ -17,6 +19,8 @@ std::unique_ptr<Policy> make_policy(const std::string& name) {
   if (name == "gradient") return std::make_unique<GradientPolicy>();
   if (name == "master") return std::make_unique<MasterPolicy>();
   if (name == "multilist") return std::make_unique<MultiListPolicy>();
+  if (name == "sfc") return std::make_unique<SfcPolicy>();
+  if (name == "cluster") return std::make_unique<ClusterPolicy>();
   PREMA_CHECK_MSG(false, "unknown balancing policy name");
   return nullptr;
 }

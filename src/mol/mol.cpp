@@ -110,6 +110,15 @@ void Mol::message_locked(const MobilePtr& target, ObjectHandlerId handler,
   PREMA_CHECK_MSG(!target.is_null(), "message to null mobile pointer");
   const std::uint32_t seq = next_seq_out_[target]++;
   const ProcId dst = is_local_locked(target) ? node_.rank() : best_known(target);
+  if (topology_ && hooks_.current_sender) {
+    // Attribute the send to the executing object's outgoing edge. Routed by
+    // best-known location, so the per-proc tally reflects where traffic was
+    // *aimed*, which is what a clustering policy can act on.
+    const MobilePtr sender = hooks_.current_sender();
+    if (!sender.is_null()) {
+      graph_.record_send(sender, target, dst, payload.size());
+    }
+  }
   send_route(dst, target, node_.rank(), seq, 0, handler, weight, std::move(payload));
 }
 
@@ -251,6 +260,26 @@ void Mol::migrate_locked(const MobilePtr& ptr, ProcId dst) {
     w.put<double>(buffered.weight);
     w.put_bytes(buffered.payload);
   }
+  if (topology_) {
+    // Topology appendix: the object's coordinates and outgoing comm-graph
+    // edges travel with it. Present exactly when topology accounting is on,
+    // which is fixed before the run — so traced migration byte sizes stay
+    // deterministic within a run and identical across runs of the same
+    // configuration.
+    const CommGraph::ObjectSlice slice = graph_.extract(ptr);
+    w.put<std::uint8_t>(slice.coords ? 1 : 0);
+    if (slice.coords) {
+      w.put<double>(slice.coords->x);
+      w.put<double>(slice.coords->y);
+      w.put<double>(slice.coords->z);
+    }
+    w.put<std::uint64_t>(slice.edges.size());
+    for (const CommEdge& e : slice.edges) {
+      put_ptr(w, e.dst);
+      w.put<std::uint64_t>(e.msgs);
+      w.put<std::uint64_t>(e.bytes);
+    }
+  }
 
   forwarding_[ptr] = dst;
   cache_.erase(ptr);
@@ -374,6 +403,24 @@ void Mol::on_migrate_locked(Message&& msg) {
     b.payload = r.get_bytes();
     entry.reorder.emplace(std::make_pair(origin, seq), std::move(b));
   }
+  if (topology_) {
+    // Topology appendix (mirrors migrate_locked's pack).
+    const auto has_coords = r.get<std::uint8_t>();
+    if (has_coords != 0) {
+      Coords c;
+      c.x = r.get<double>();
+      c.y = r.get<double>();
+      c.z = r.get<double>();
+      graph_.set_coords(ptr, c);
+    }
+    const auto n_edges = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n_edges; ++i) {
+      const MobilePtr edst = get_ptr(r);
+      const auto msgs = r.get<std::uint64_t>();
+      const auto bytes = r.get<std::uint64_t>();
+      graph_.merge_edge(ptr, edst, msgs, bytes);
+    }
+  }
 
   // Install. Any forwarding/cache entry from a previous residence epoch is now
   // obsolete: the object is *here*.
@@ -420,6 +467,23 @@ void Mol::learn(const MobilePtr& ptr, ProcId loc) {
     return;
   }
   cache_[ptr] = loc;
+}
+
+void Mol::set_coords(const MobilePtr& ptr, const Coords& c) {
+  // No-op when topology accounting is off, so applications may register
+  // coordinates unconditionally without perturbing scalar-policy runs.
+  if (!topology_) return;
+  graph_.set_coords(ptr, c);
+}
+
+std::optional<Coords> Mol::coords(const MobilePtr& ptr) const {
+  if (!topology_) return std::nullopt;
+  return graph_.coords(ptr);
+}
+
+ProcId Mol::location_hint(const MobilePtr& ptr) const {
+  util::RecursiveLock g(node_.state_mutex());
+  return is_local_locked(ptr) ? node_.rank() : best_known(ptr);
 }
 
 MolLayer::MolLayer(dmcs::Machine& machine) {

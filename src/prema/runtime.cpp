@@ -66,6 +66,10 @@ struct Runtime::NodeRt {
   std::unique_ptr<service::ArrivalGenerator> arrivals
       PREMA_GUARDED_BY(node->state_mutex());
 
+  /// Service mode only: index of the next ServiceConfig::policy_switches
+  /// entry this rank has yet to apply (the schedule is sorted by time).
+  std::size_t next_switch PREMA_GUARDED_BY(node->state_mutex()) = 0;
+
   /// Tell the analysis the node's state lock is held. Used where the lock
   /// was demonstrably taken through an alias the analysis cannot connect to
   /// this struct's guard expression (see struct comment).
@@ -221,7 +225,25 @@ Runtime::Runtime(dmcs::Machine& machine, RuntimeConfig cfg)
       r->did_work = true;
       r->balancer->work_arrived();
     };
+    hooks.current_sender = [r]() -> mol::MobilePtr {
+      r->assert_state_held();
+      // The scheduler, not NodeRt::has_current, knows who is executing:
+      // exec_wrapper clears has_current before the handler body runs.
+      return r->sched.executing() ? r->sched.executing_ptr() : mol::kNullMobilePtr;
+    };
     r->mol->set_hooks(std::move(hooks));
+  }
+
+  // Topology accounting is machine-wide and fixed before the run (it gates
+  // the migrate wire image — see Mol::enable_topology). Enabled here when
+  // the configured policy consumes it; run_service extends this to policies
+  // scheduled by mid-window switches.
+  bool wants_topology = false;
+  for (const auto& nr : nodes_) {
+    wants_topology = wants_topology || nr->balancer->policy().wants_topology();
+  }
+  if (wants_topology) {
+    for (const auto& nr : nodes_) nr->mol->enable_topology();
   }
 }
 
@@ -298,6 +320,17 @@ double Runtime::run_service(ServiceConfig svc) {
   PREMA_CHECK_MSG(static_cast<bool>(svc.on_arrival),
                   "service mode needs an on_arrival sink");
   svc_ = std::make_unique<ServiceConfig>(std::move(svc));
+  // Apply switches oldest-first, and enable topology accounting up front if
+  // any scheduled policy will want it: flipping it mid-run would change the
+  // migrate wire image under the running machine.
+  std::stable_sort(svc_->policy_switches.begin(), svc_->policy_switches.end(),
+                   [](const ServiceConfig::PolicySwitch& a,
+                      const ServiceConfig::PolicySwitch& b) { return a.t < b.t; });
+  bool switch_wants_topology = false;
+  for (const auto& sw : svc_->policy_switches) {
+    const auto probe = ilb::make_policy(sw.policy);  // validates the name too
+    switch_wants_topology = switch_wants_topology || probe->wants_topology();
+  }
   for (ProcId p = 0; p < machine_.nprocs(); ++p) {
     NodeRt& r = rt(p);
     // Pre-run is single-threaded (no workers yet); the assert only tells the
@@ -305,6 +338,7 @@ double Runtime::run_service(ServiceConfig svc) {
     r.assert_state_held();
     r.arrivals = std::make_unique<service::ArrivalGenerator>(
         svc_->arrivals, p, machine_.nprocs());
+    if (switch_wants_topology) r.mol->enable_topology();
   }
   return run();
 }
@@ -351,6 +385,15 @@ void Runtime::service_on_arrival(NodeRt& r) {
 void Runtime::service_on_epoch(NodeRt& r) {
   r.assert_state_held();  // handler thunk takes the node's state lock
   const double t = r.node->now();
+  // Apply any policy switches that have come due (sorted by run_service);
+  // the swap happens at the epoch tick, so every rank changes policy at the
+  // same epoch boundary of its own clock.
+  while (r.next_switch < svc_->policy_switches.size() &&
+         t >= svc_->policy_switches[r.next_switch].t) {
+    r.balancer->switch_policy(
+        ilb::make_policy(svc_->policy_switches[r.next_switch].policy));
+    ++r.next_switch;
+  }
   r.balancer->poll();
   const double load = r.sched.load(r.balancer->config().use_weight);
   if (auto* ts = r.node->trace()) ts->service_epoch(t, load);
@@ -484,9 +527,18 @@ void Runtime::term_record_ack(NodeRt& r0, std::uint64_t wave, std::uint64_t sent
     // recovery state — a node awaiting the ack of its last term report, or a
     // message parked in a resequencing buffer — after which no count ever
     // changes again, so no report will re-trigger a wave. Re-probe on a
-    // timer; unreliable (fault-free) runs never need this and keep their
-    // exact legacy event sequence.
-    if (r0.node->reliable_transport()) term_schedule_retry(r0);
+    // timer.
+    if (r0.node->reliable_transport()) {
+      term_schedule_retry(r0);
+      return;
+    }
+    // Without it, a report that landed *while this wave was in flight* was
+    // absorbed by the wave_active gate above and will never be re-examined:
+    // if that report carried the final counts, the machine goes silent with
+    // no trigger left and termination is missed. Re-examine the report sums
+    // now; if they are not balanced yet, the next report re-triggers as
+    // before (a no-op here, preserving fault-free event sequences).
+    term_consider_wave(r0);
     return;
   }
   if (c.ack_sent_sum == c.snap_sent_sum) {

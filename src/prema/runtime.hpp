@@ -54,6 +54,13 @@ class Context {
   void message(const mol::MobilePtr& target, mol::ObjectHandlerId handler,
                std::vector<std::uint8_t> payload = {}, double weight = 1.0);
 
+  /// Register (or update) an object's spatial coordinates for topology-aware
+  /// policies (sfc / cluster). A no-op unless the run's policy wants
+  /// topology, so applications may call it unconditionally.
+  void set_coords(const mol::MobilePtr& ptr, const mol::Coords& c) {
+    mol_->set_coords(ptr, c);
+  }
+
   /// Account `mflop` Mflop of application computation (defines the enclosing
   /// work unit's duration on the emulated machine; spins on the real one).
   void compute(double mflop) {
@@ -112,6 +119,18 @@ struct ServiceConfig {
   /// recorded per rank (completions are the application's to record, since
   /// only it knows when a request's handler ran).
   service::ServiceLedger* ledger = nullptr;
+
+  /// Mid-window policy switch: at machine time `t`, every rank swaps its
+  /// balancer's policy for a fresh `make_policy(policy)` instance.
+  struct PolicySwitch {
+    double t = 0.0;
+    std::string policy;
+  };
+  /// Applied at the first epoch tick at or after each entry's time (sorted
+  /// by the runtime). If any scheduled policy wants topology, MOL topology
+  /// accounting is enabled from the start of the run — switching never flips
+  /// it mid-run, which would change traced migration byte sizes.
+  std::vector<PolicySwitch> policy_switches;
 };
 
 class Runtime {

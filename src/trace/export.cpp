@@ -75,6 +75,8 @@ const char* chrome_category(EventKind k) {
     case EventKind::kServiceArrival:
     case EventKind::kServiceComplete:
     case EventKind::kServiceEpoch: return "service";
+    case EventKind::kPolicySfcCut:
+    case EventKind::kPolicyClusterMerge: return "policy";
     case EventKind::kCount: break;
   }
   return "?";
@@ -142,6 +144,15 @@ std::string chrome_args(const TraceEvent& e) {
       break;
     case EventKind::kServiceEpoch:
       a = "\"load\":" + num(e.value);
+      break;
+    case EventKind::kPolicySfcCut:
+      a = "\"segments\":" + std::to_string(e.size) +
+          ",\"imbalance\":" + num(e.value);
+      break;
+    case EventKind::kPolicyClusterMerge:
+      a = "\"dst\":" + std::to_string(e.peer) +
+          ",\"objects\":" + std::to_string(e.size) +
+          ",\"traffic\":" + num(e.value);
       break;
     case EventKind::kCount:
       break;

@@ -24,6 +24,8 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kServiceArrival: return "service-arrival";
     case EventKind::kServiceComplete: return "service-complete";
     case EventKind::kServiceEpoch: return "service-epoch";
+    case EventKind::kPolicySfcCut: return "policy.sfc_cut";
+    case EventKind::kPolicyClusterMerge: return "policy.cluster_merge";
     case EventKind::kCount: break;
   }
   return "?";
@@ -285,6 +287,30 @@ void TraceSink::service_epoch(double t, double load) {
   util::LockGuard g(mu_);
   push_locked(e);
   ++counters_.service_epochs;
+}
+
+void TraceSink::policy_sfc_cut(double t, std::size_t segments, double imbalance) {
+  TraceEvent e;
+  e.kind = EventKind::kPolicySfcCut;
+  e.t0 = t;
+  e.size = segments;
+  e.value = imbalance;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.sfc_cuts;
+}
+
+void TraceSink::policy_cluster_merge(double t, ProcId dst, std::size_t objects,
+                                     double traffic) {
+  TraceEvent e;
+  e.kind = EventKind::kPolicyClusterMerge;
+  e.t0 = t;
+  e.peer = dst;
+  e.size = objects;
+  e.value = traffic;
+  util::LockGuard g(mu_);
+  push_locked(e);
+  ++counters_.cluster_merges;
 }
 
 ProcCounters TraceSink::counters() const {

@@ -69,6 +69,8 @@ enum class EventKind : std::uint8_t {
   kServiceArrival,  ///< instant: open-loop request injected (size=client, value=Mflop)
   kServiceComplete, ///< instant: request handler finished (size=client, value=sojourn s)
   kServiceEpoch,    ///< instant: service-mode epoch tick (value=sampled load)
+  kPolicySfcCut,    ///< instant: sfc coordinator recut the curve (size=segments, value=imbalance)
+  kPolicyClusterMerge,  ///< instant: cluster policy co-migrated a batch (peer=dst, size=objects, value=traffic)
   kCount
 };
 
@@ -185,6 +187,15 @@ class TraceSink {
   void service_complete(double t, std::uint64_t client, double sojourn_s);
   /// An epoch tick fired; `load` is the scheduler load sampled at the tick.
   void service_epoch(double t, double load);
+
+  // -- topology policies (sfc / cluster, see src/ilb/policies) ------------
+  /// The sfc coordinator recut the curve into `segments` pieces; `imbalance`
+  /// is max-segment-load / mean-segment-load at the cut.
+  void policy_sfc_cut(double t, std::size_t segments, double imbalance);
+  /// The cluster policy shipped `objects` co-communicating objects to `dst`;
+  /// `traffic` is the mutual traffic (bytes) that bound the batch together.
+  void policy_cluster_merge(double t, ProcId dst, std::size_t objects,
+                            double traffic);
 
   // -- counters / introspection ------------------------------------------
   /// Lightweight per-processor counters and histograms, updated under the

@@ -130,6 +130,54 @@ TEST(Determinism, ServiceModeTracesAreByteIdentical) {
       << bytes_a.size() << " vs " << bytes_b.size() << " bytes)";
 }
 
+TEST(Determinism, EveryScalarPolicyTraceIsByteIdentical) {
+  // The topology-aware PolicyContext refactor must not perturb the scalar
+  // paper policies: each of them still produces byte-identical traces across
+  // identically seeded runs — with unit coordinates registered (registration
+  // is a no-op while topology accounting is off, so the migration wire image
+  // and hence every traced byte stays exactly as before the refactor).
+  for (const char* policy : {"null", "work_stealing", "diffusion", "gradient",
+                             "master", "multilist"}) {
+    auto cfg_a = small_config(std::string("determinism_") + policy + "_a.json");
+    cfg_a.policy = policy;
+    auto cfg_b = small_config(std::string("determinism_") + policy + "_b.json");
+    cfg_b.policy = policy;
+    const auto report_a = run_synthetic(System::kPremaImplicit, cfg_a);
+    const auto report_b = run_synthetic(System::kPremaImplicit, cfg_b);
+    EXPECT_TRUE(report_a.audit_ok) << policy;
+    EXPECT_DOUBLE_EQ(report_a.makespan, report_b.makespan) << policy;
+    EXPECT_EQ(report_a.migrations, report_b.migrations) << policy;
+    ASSERT_FALSE(report_a.trace_file.empty());
+    ASSERT_FALSE(report_b.trace_file.empty());
+    const std::string bytes_a = slurp(report_a.trace_file);
+    ASSERT_FALSE(bytes_a.empty());
+    EXPECT_TRUE(bytes_a == slurp(report_b.trace_file))
+        << "trace JSON diverged for scalar policy " << policy;
+  }
+}
+
+TEST(Determinism, TopologyPoliciesTracesAreByteIdentical) {
+  // The topology-aware policies add coordinate gossip, histogram exchanges,
+  // and a migration-image appendix — all of it seeded and map-ordered, so
+  // the byte-for-byte contract must extend to them unchanged.
+  for (const char* policy : {"sfc", "cluster"}) {
+    auto cfg_a = small_config(std::string("determinism_") + policy + "_a.json");
+    cfg_a.policy = policy;
+    auto cfg_b = small_config(std::string("determinism_") + policy + "_b.json");
+    cfg_b.policy = policy;
+    const auto report_a = run_synthetic(System::kPremaImplicit, cfg_a);
+    const auto report_b = run_synthetic(System::kPremaImplicit, cfg_b);
+    EXPECT_TRUE(report_a.audit_ok) << policy;
+    EXPECT_DOUBLE_EQ(report_a.makespan, report_b.makespan) << policy;
+    ASSERT_FALSE(report_a.trace_file.empty());
+    ASSERT_FALSE(report_b.trace_file.empty());
+    const std::string bytes_a = slurp(report_a.trace_file);
+    ASSERT_FALSE(bytes_a.empty());
+    EXPECT_TRUE(bytes_a == slurp(report_b.trace_file))
+        << "trace JSON diverged for topology policy " << policy;
+  }
+}
+
 TEST(Determinism, ExplicitPollingTracesAreByteIdenticalToo) {
   const auto report_a =
       run_synthetic(System::kPremaExplicit, small_config("determinism_c.json"));

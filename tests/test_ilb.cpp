@@ -2,12 +2,16 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "ilb/policies/cluster.hpp"
 #include "ilb/policies/diffusion.hpp"
 #include "ilb/policies/gradient.hpp"
 #include "ilb/policies/master.hpp"
 #include "ilb/policies/multilist.hpp"
+#include "ilb/policies/sfc.hpp"
 #include "ilb/policies/work_stealing.hpp"
 #include "ilb/policy.hpp"
 #include "ilb/scheduler.hpp"
@@ -182,11 +186,43 @@ class FakeContext final : public PolicyContext {
     poll_requests_.push_back(seconds);
   }
 
+  // --- scripted topology view (empty/off by default, like a scalar run) ---
+  [[nodiscard]] bool topology_enabled() const override { return topology_; }
+  [[nodiscard]] std::optional<mol::Coords> object_coords(
+      const mol::MobilePtr& ptr) const override {
+    const auto it = coords_.find(ptr);
+    if (it == coords_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::vector<mol::CommEdge> comm_edges() const override {
+    return edges_;
+  }
+  [[nodiscard]] ProcId object_location(const mol::MobilePtr& ptr) const override {
+    const auto it = locations_.find(ptr);
+    return it == locations_.end() ? kNoProc : it->second;
+  }
+  [[nodiscard]] std::vector<GossipSummary> gossip() const override {
+    return gossip_;
+  }
+  void trace_sfc_cut(std::size_t segments, double imbalance) override {
+    sfc_cuts_.push_back({segments, imbalance});
+  }
+  void trace_cluster_merge(ProcId dst, std::size_t objects,
+                           double traffic) override {
+    cluster_merges_.push_back({dst, objects, traffic});
+  }
+
   void set_load(double load) { load_ = load; }
   void add_object(mol::MobilePtr ptr, double weight) {
     objects_.push_back({ptr, 1, weight});
     load_ += weight;
   }
+
+  struct ClusterMergeEvent {
+    ProcId dst;
+    std::size_t objects;
+    double traffic;
+  };
 
   ProcId rank_;
   int nprocs_;
@@ -197,6 +233,13 @@ class FakeContext final : public PolicyContext {
   std::vector<SentMsg> sent_;
   std::vector<Migration> migrations_;
   std::vector<double> poll_requests_;
+  bool topology_ = false;
+  std::map<mol::MobilePtr, mol::Coords> coords_;
+  std::map<mol::MobilePtr, ProcId> locations_;
+  std::vector<mol::CommEdge> edges_;
+  std::vector<GossipSummary> gossip_;
+  std::vector<std::pair<std::size_t, double>> sfc_cuts_;
+  std::vector<ClusterMergeEvent> cluster_merges_;
 };
 
 util::ByteReader reader_of(const SentMsg& m) { return util::ByteReader(m.body); }
@@ -495,14 +538,173 @@ TEST(MultiList, LeaderPairsWithinGroup) {
   EXPECT_TRUE(pushed);
 }
 
+// ---------------------------------------------------------------------------
+// Topology-aware policies (scripted PolicyContext overrides)
+// ---------------------------------------------------------------------------
+
+TEST(Sfc, CoordinatorRecutsAndShipsOutOfSegmentObjects) {
+  FakeContext ctx(0, 2);
+  ctx.topology_ = true;
+  SfcPolicy p;
+  p.init(ctx);
+  // Two objects in opposite corners of the unit cube: a heavy one near the
+  // origin, a light one near the far corner.
+  const mol::MobilePtr near{0, 0};
+  const mol::MobilePtr far{0, 1};
+  ctx.coords_[near] = {0.1, 0.1, 0.1};
+  ctx.coords_[far] = {0.9, 0.9, 0.9};
+  ctx.add_object(near, 9.0);
+  ctx.add_object(far, 1.0);
+  ASSERT_NE(p.bucket_of(ctx, near), p.bucket_of(ctx, far));
+
+  // The coordinator's own report is taken at the first poll...
+  p.on_poll(ctx);
+  EXPECT_EQ(p.stats().reports_sent, 1u);
+  EXPECT_TRUE(ctx.sent_.empty());  // rank 0 never wires its report to itself
+  // ...and once rank 1's (empty) histogram lands, the picture is complete:
+  // segment loads 9 vs 1 against a share of 5 is a 1.8 imbalance -> recut.
+  util::ByteWriter w;
+  w.put<std::uint32_t>(0);
+  util::ByteReader r(w.bytes());
+  p.on_message(ctx, 1, 20, r);
+
+  EXPECT_EQ(p.stats().cuts_broadcast, 1u);
+  ASSERT_EQ(ctx.sent_.size(), 1u);  // the cut table, broadcast to rank 1
+  EXPECT_EQ(ctx.sent_[0].dst, 1);
+  EXPECT_EQ(ctx.sent_[0].tag, 21);
+  // The far-corner object's segment now belongs to rank 1; it ships.
+  ASSERT_EQ(ctx.migrations_.size(), 1u);
+  EXPECT_EQ(ctx.migrations_[0].ptr, far);
+  EXPECT_EQ(ctx.migrations_[0].dst, 1);
+  // The decision was traced with the post-cut segment count and imbalance.
+  ASSERT_EQ(ctx.sfc_cuts_.size(), 1u);
+  EXPECT_EQ(ctx.sfc_cuts_[0].first, 2u);
+  EXPECT_DOUBLE_EQ(ctx.sfc_cuts_[0].second, 1.8);
+}
+
+TEST(Sfc, MemberAppliesCutTableFromWire) {
+  FakeContext ctx(1, 2);
+  ctx.topology_ = true;
+  SfcPolicy p;
+  p.init(ctx);
+  const mol::MobilePtr mine{1, 0};
+  ctx.coords_[mine] = {0.05, 0.05, 0.05};  // near the origin: rank 0 territory
+  ctx.add_object(mine, 2.0);
+  // Cut table: rank 0 owns the lower half of the buckets, rank 1 the upper.
+  util::ByteWriter w;
+  w.put<std::uint32_t>(2);
+  w.put<std::uint32_t>(0);
+  w.put<std::uint32_t>(SfcPolicy::kBuckets / 2);
+  util::ByteReader r(w.bytes());
+  p.on_message(ctx, 0, 21, r);
+  ASSERT_EQ(ctx.migrations_.size(), 1u);
+  EXPECT_EQ(ctx.migrations_[0].dst, 0);
+}
+
+TEST(Sfc, IgnoresForeignTagsAndHashesCoordlessObjects) {
+  FakeContext ctx(1, 4);
+  ctx.topology_ = true;
+  SfcPolicy p;
+  p.init(ctx);
+  // A stray in-flight work_stealing request (tag 1) from before a policy
+  // switch must be ignored, not misdecoded or aborted on.
+  util::ByteWriter w;
+  w.put<double>(0.0);
+  util::ByteReader r(w.bytes());
+  p.on_message(ctx, 3, 1, r);
+  EXPECT_TRUE(ctx.sent_.empty());
+  EXPECT_TRUE(ctx.migrations_.empty());
+  // Objects without coordinates hash to a stable in-range bucket.
+  const mol::MobilePtr coordless{2, 7};
+  const auto b = p.bucket_of(ctx, coordless);
+  EXPECT_LT(b, SfcPolicy::kBuckets);
+  EXPECT_EQ(b, p.bucket_of(ctx, coordless));
+}
+
+TEST(Cluster, MigratesTowardDominantPartnerAndCoMigratesClique) {
+  FakeContext ctx(0, 2);
+  ctx.topology_ = true;
+  ClusterPolicy p;
+  p.init(ctx);
+  const mol::MobilePtr a{0, 0};
+  const mol::MobilePtr b{0, 1};
+  const mol::MobilePtr c{1, 0};  // remote, on rank 1
+  ctx.add_object(a, 1.0);
+  ctx.add_object(b, 1.0);
+  ctx.locations_[a] = 0;
+  ctx.locations_[b] = 0;
+  ctx.locations_[c] = 1;
+  // a talks to remote c twice as much as to local b; b talks only to a.
+  ctx.edges_.push_back({a, c, 10, 6000});
+  ctx.edges_.push_back({a, b, 5, 3000});
+  GossipSummary s;
+  s.proc = 1;
+  s.load = 0.0;  // rank 1 is idle: a fine destination
+  ctx.gossip_.push_back(s);
+
+  ctx.now_ = 1.0;  // past the first eval deadline
+  p.on_poll(ctx);
+
+  // a moves to its dominant partner's processor, and b — whose traffic is
+  // entirely with a — rides along so the clique stays together.
+  ASSERT_EQ(ctx.migrations_.size(), 2u);
+  EXPECT_EQ(ctx.migrations_[0].ptr, a);
+  EXPECT_EQ(ctx.migrations_[0].dst, 1);
+  EXPECT_EQ(ctx.migrations_[1].ptr, b);
+  EXPECT_EQ(ctx.migrations_[1].dst, 1);
+  EXPECT_EQ(p.stats().objects_moved, 1u);
+  EXPECT_EQ(p.stats().co_migrations, 1u);
+  ASSERT_EQ(ctx.cluster_merges_.size(), 1u);
+  EXPECT_EQ(ctx.cluster_merges_[0].dst, 1);
+  EXPECT_EQ(ctx.cluster_merges_[0].objects, 2u);
+  EXPECT_DOUBLE_EQ(ctx.cluster_merges_[0].traffic, 9000.0);
+}
+
+TEST(Cluster, StaysPutWhenInternalTrafficDominatesOrPeerIsBusy) {
+  FakeContext ctx(0, 2);
+  ctx.topology_ = true;
+  ClusterPolicy p;
+  p.init(ctx);
+  const mol::MobilePtr a{0, 0};
+  const mol::MobilePtr b{0, 1};
+  const mol::MobilePtr c{1, 0};
+  ctx.add_object(a, 1.0);
+  ctx.add_object(b, 1.0);
+  ctx.locations_[a] = 0;
+  ctx.locations_[b] = 0;
+  ctx.locations_[c] = 1;
+  // External traffic exists but does not exceed 1.5x internal: no move.
+  ctx.edges_.push_back({a, b, 10, 6000});
+  ctx.edges_.push_back({a, c, 10, 6000});
+  ctx.now_ = 1.0;
+  p.on_poll(ctx);
+  EXPECT_TRUE(ctx.migrations_.empty());
+
+  // Dominant external traffic, but the gossiped destination load is higher
+  // than ours: the overshoot gate holds the object back.
+  ctx.edges_.clear();
+  ctx.edges_.push_back({a, c, 20, 60000});
+  GossipSummary s;
+  s.proc = 1;
+  s.load = 100.0;
+  ctx.gossip_.push_back(s);
+  ctx.now_ = 2.0;
+  p.on_poll(ctx);
+  EXPECT_TRUE(ctx.migrations_.empty());
+}
+
 TEST(PolicyFactory, MakesEveryRegisteredPolicy) {
   for (const char* name :
-       {"null", "work_stealing", "diffusion", "gradient", "master", "multilist"}) {
+       {"null", "work_stealing", "diffusion", "gradient", "master",
+        "multilist", "sfc", "cluster"}) {
     auto p = make_policy(name);
     ASSERT_NE(p, nullptr);
     if (std::string(name) != "null") {
       EXPECT_EQ(p->name(), name);
     }
+    // The topology split: exactly sfc and cluster consume the widened view.
+    const bool topo = std::string(name) == "sfc" || std::string(name) == "cluster";
+    EXPECT_EQ(p->wants_topology(), topo) << name;
   }
 }
 

@@ -322,6 +322,22 @@ TEST(ServiceRun, MidPauseElasticityUnderStealAndDiffusion) {
   }
 }
 
+TEST(ServiceRun, MidWindowSwitchToSfcAbsorbsSkewedTopologyTags) {
+  // Swap every rank from work_stealing to sfc mid-window. Ranks apply the
+  // schedule on their own clocks, so an early-switching rank's first sfc
+  // histogram report (a topology-range tag) can reach rank 0 while its
+  // scalar policy is still active; the Balancer must absorb it rather than
+  // let work_stealing's fail-fast abort fire. Long enough window that sfc
+  // reports and gossip both flow on each side of the swap.
+  ServiceScenario sc = small_scenario("work_stealing");
+  sc.duration_s = 0.3;
+  sc.policy_switches = {{0.15, "sfc"}};
+  const ServiceReport r = run_service_scenario(sc);
+  expect_sane(r);
+  EXPECT_EQ(r.arrivals, r.completions);
+  EXPECT_EQ(r.policy, "work_stealing->sfc");
+}
+
 TEST(ServiceRun, ReportsAreDeterministic) {
   // Two identically seeded service runs agree on every scalar the sweep
   // reports (the byte-level trace comparison lives in test_determinism).
