@@ -14,7 +14,11 @@
 /// panels of one benchmark configuration and prints the per-panel breakdowns
 /// plus the comparison table.
 ///
-/// Flags: --trace-out=<file>       export a Chrome/Perfetto trace per panel
+/// Flags: --smoke                  CI-sized problem (16 procs x 108 units,
+///                                 same panel structure); the paper-scale
+///                                 default takes minutes per panel, and 20+
+///                                 minutes total under --policy=sfc.
+///        --trace-out=<file>       export a Chrome/Perfetto trace per panel
 ///                                 (file gets a "-a".."-f" suffix per system).
 ///        --fault-profile=<name>   run under a canned fault-injection profile
 ///                                 (none | lossy1pct | burst-reorder |
@@ -32,9 +36,12 @@ inline int run_figure(int argc, char** argv, const char* title,
   SyntheticConfig cfg;
   cfg.heavy_fraction = heavy_fraction;
   cfg.heavy_mflop = heavy_mflop;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+    if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       cfg.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--fault-profile=", 16) == 0) {
       cfg.fault_profile = arg + 16;
@@ -51,17 +58,26 @@ inline int run_figure(int argc, char** argv, const char* title,
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: " << argv[0]
-                << " [--trace-out=<file>] [--fault-profile=<name>]"
+                << " [--smoke] [--trace-out=<file>] [--fault-profile=<name>]"
                    " [--fault-seed=<n>] [--policy=<name>]\n";
       return 2;
     }
   }
+  if (smoke) {
+    // Same six panels, CI-sized: the paper-scale problem takes minutes per
+    // panel (and --policy=sfc 20+ minutes total), which only EXPERIMENTS.md
+    // reproduction runs should pay for.
+    cfg.nprocs = 16;
+    cfg.units_per_proc = 108;
+  }
 
   std::cout << "==========================================================\n"
             << title << "\n"
-            << "  128 procs x 864 units, heavy fraction "
-            << heavy_fraction * 100 << "%, heavy " << heavy_mflop
-            << " Mflop vs light " << cfg.light_mflop << " Mflop\n"
+            << "  " << cfg.nprocs << " procs x " << cfg.units_per_proc
+            << " units, heavy fraction " << heavy_fraction * 100
+            << "%, heavy " << heavy_mflop << " Mflop vs light "
+            << cfg.light_mflop << " Mflop" << (smoke ? " [smoke]" : "")
+            << "\n"
             << "  paper's reported makespans: " << paper_values << "\n";
   if (cfg.fault_profile != "none") {
     std::cout << "  fault profile: " << cfg.fault_profile << " (seed "

@@ -66,7 +66,11 @@ class ThreadNode final : public Node {
   void compute(double mflop, util::TimeCategory cat) override;
   void compute_seconds(double seconds, util::TimeCategory cat) override;
   void execute(Message&& msg, std::function<void()> on_complete) override;
-  [[nodiscard]] bool executing() const override { return executing_.load(); }
+  // Acquire pairs with the worker's release stores: an observer that sees
+  // executing_ == true also sees the unit state the worker published first.
+  [[nodiscard]] bool executing() const override {
+    return executing_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] std::size_t inbox_size() const override {
     util::LockGuard g(inbox_mutex_);
     return inbox_.size();

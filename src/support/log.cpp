@@ -48,9 +48,18 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+// Relaxed on both sides: the level is an isolated verbosity knob — readers
+// want a recent value, nothing else is published through it, and the hot
+// log_level() check must not fence every call site.
+void set_log_level(LogLevel lvl) {
+  std::atomic<int>& level = level_storage();
+  level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+LogLevel log_level() {
+  std::atomic<int>& level = level_storage();
+  return static_cast<LogLevel>(level.load(std::memory_order_relaxed));
+}
 
 void set_log_sink(std::FILE* stream) {
   SinkState& s = sink();

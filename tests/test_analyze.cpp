@@ -33,14 +33,15 @@ std::string read_file_or_empty(const std::string& path) {
 }
 
 /// Run every pass over the fixture's src/ tree with its (optional) local
-/// lock_hierarchy.txt and protocols/ specs and return the findings formatted
-/// one per line, exactly as the CLI prints them.
+/// lock_hierarchy.txt, atomics.txt and protocols/ specs and return the
+/// findings formatted one per line, exactly as the CLI prints them.
 std::string analyze_fixture(const std::string& rel_case) {
   const std::string dir = kFixtures + "/" + rel_case;
   Tree tree;
   EXPECT_TRUE(load_tree(dir + "/src", tree)) << dir;
   Options opts;
   opts.hierarchy_text = read_file_or_empty(dir + "/lock_hierarchy.txt");
+  opts.atomics_text = read_file_or_empty(dir + "/atomics.txt");
   // Fixture-local protocol specs, loaded sorted exactly as the CLI does.
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -120,6 +121,21 @@ TEST(AnalyzeFixtures, SimPurityUnorderedIteration) {
 TEST(AnalyzeFixtures, SimPurityWallClock) {
   EXPECT_EQ(analyze_fixture("sim_purity/wallclock"),
             expected("sim_purity/wallclock"));
+}
+
+TEST(AnalyzeFixtures, AtomicDisciplineImplicitOrder) {
+  EXPECT_EQ(analyze_fixture("atomic_discipline/implicit_order"),
+            expected("atomic_discipline/implicit_order"));
+}
+
+TEST(AnalyzeFixtures, ReleaseAcquireUnpairedStore) {
+  EXPECT_EQ(analyze_fixture("release_acquire/unpaired_store"),
+            expected("release_acquire/unpaired_store"));
+}
+
+TEST(AnalyzeFixtures, MixedAccessUnlockedRead) {
+  EXPECT_EQ(analyze_fixture("mixed_access/unlocked_read"),
+            expected("mixed_access/unlocked_read"));
 }
 
 TEST(AnalyzeFixtures, CleanTreeHasNoFindings) {

@@ -1,23 +1,41 @@
+#include <optional>
+
 #include "analyze/passes.hpp"
 
 namespace prema::analyze {
 
 const std::vector<PassInfo>& all_passes() {
   static const std::vector<PassInfo> passes = {
-      {"conventions", pass_conventions},
-      {"lock-order", pass_lock_order},
-      {"protocol", pass_protocol},
-      {"serialization", pass_serialization},
-      {"time-domain", pass_time_domain},
-      {"lock-flow", pass_lock_flow},
-      {"protocol-fsm", pass_protocol_fsm},
-      {"sim-purity", pass_sim_purity},
+      {"conventions", pass_conventions, /*per_file=*/true, /*needs_index=*/false},
+      {"lock-order", pass_lock_order, false, false},
+      {"protocol", pass_protocol, false, false},
+      {"serialization", pass_serialization, false, false},
+      {"time-domain", pass_time_domain, /*per_file=*/true, false},
+      {"lock-flow", pass_lock_flow, false, /*needs_index=*/true},
+      {"protocol-fsm", pass_protocol_fsm, false, true},
+      {"sim-purity", pass_sim_purity, false, true},
+      {"atomic-discipline", pass_atomic_discipline, false, true},
+      {"release-acquire", pass_release_acquire, false, true},
+      {"mixed-access", pass_mixed_access, false, true},
   };
   return passes;
 }
 
 void run_all_passes(const Tree& tree, const Options& opts, Findings& out) {
-  for (const PassInfo& p : all_passes()) p.fn(tree, opts, out);
+  // Build the whole-program index once and share it: three of the index
+  // passes would otherwise each build their own.
+  Options shared = opts;
+  std::optional<Index> idx;
+  if (shared.index == nullptr) {
+    for (const PassInfo& p : all_passes()) {
+      if (p.needs_index) {
+        idx.emplace(build_index(tree));
+        shared.index = &*idx;
+        break;
+      }
+    }
+  }
+  for (const PassInfo& p : all_passes()) p.fn(tree, shared, out);
 }
 
 }  // namespace prema::analyze

@@ -420,6 +420,136 @@ std::optional<ProtocolSpec> parse_protocol_spec(const std::string& spec_name,
 }
 
 // ---------------------------------------------------------------------------
+// Atomics manifest
+// ---------------------------------------------------------------------------
+
+std::vector<AtomicEntry> parse_atomics_manifest(const std::string& manifest_name,
+                                                std::string_view text,
+                                                std::vector<Finding>& errors) {
+  std::vector<AtomicEntry> entries;
+  static const std::set<std::string, std::less<>> kRoles = {
+      "flag", "counter", "seqcount", "published-ptr"};
+  static const std::set<std::string, std::less<>> kOrders = {
+      "relaxed", "acquire", "release", "acq_rel", "seq_cst"};
+  auto err = [&](int line, const std::string& msg) {
+    errors.push_back({"atomic-manifest", manifest_name, line, msg});
+  };
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::vector<std::string> fields;
+    std::string cur;
+    for (const char c : line + " ") {
+      if (c == ' ' || c == '\t' || c == '\r') {
+        if (!cur.empty()) fields.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (fields.empty()) continue;
+    AtomicEntry e;
+    e.line = lineno;
+    e.name = fields[0];
+    if (e.name.find('=') != std::string::npos) {
+      err(lineno, "entry must start with the declared name, got '" + e.name + "'");
+      continue;
+    }
+    bool bad = false;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string& kv = fields[i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        err(lineno, "attribute '" + kv + "' is not key=value");
+        bad = true;
+        continue;
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "role") {
+        if (kRoles.count(value) == 0) {
+          err(lineno, "unknown role '" + value +
+                          "' (flag, counter, seqcount or published-ptr)");
+          bad = true;
+        } else {
+          e.role = value;
+        }
+      } else if (key == "orders") {
+        for (const std::string& o : split_args(value)) {
+          if (kOrders.count(o) == 0) {
+            err(lineno, "unknown memory order '" + o +
+                            "' (relaxed, acquire, release, acq_rel, seq_cst)");
+            bad = true;
+          } else {
+            e.orders.insert(o);
+          }
+        }
+      } else if (key == "class") {
+        e.cls = value;
+      } else if (key == "file") {
+        e.path = value;
+      } else {
+        err(lineno, "unknown attribute '" + key + "'");
+        bad = true;
+      }
+    }
+    if (e.role.empty()) {
+      err(lineno, "entry '" + e.name + "' declares no role=");
+      bad = true;
+    }
+    if (e.orders.empty()) {
+      err(lineno, "entry '" + e.name + "' declares no orders=");
+      bad = true;
+    }
+    for (const AtomicEntry& prev : entries) {
+      if (prev.name == e.name && prev.cls == e.cls && prev.path == e.path) {
+        err(lineno, "duplicate entry for '" + e.name + "'");
+        bad = true;
+        break;
+      }
+    }
+    if (!bad) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+int resolve_atomic(const std::vector<AtomicEntry>& entries, std::string_view rel,
+                   std::string_view cls, std::string_view name) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const AtomicEntry& e = entries[i];
+    if (e.name != name) continue;
+    if (!e.path.empty() && rel.find(e.path) == std::string_view::npos) continue;
+    if (!e.cls.empty() && !cls.empty() && e.cls != cls) continue;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool atomic_op_is_rmw(const std::string& op) {
+  return op == "exchange" || op.compare(0, 6, "fetch_") == 0 ||
+         op.compare(0, 16, "compare_exchange") == 0 || op == "++" ||
+         op == "--" || (op.size() == 2 && op[1] == '=');
+}
+
+bool atomic_op_is_implicit(const AtomicOp& op) {
+  if (!op.orders.empty()) return false;
+  if (op.op == "load") return op.args == 0;
+  if (op.op == "store" || op.op == "exchange" ||
+      op.op.compare(0, 6, "fetch_") == 0) {
+    return op.args == 1;
+  }
+  if (op.op.compare(0, 16, "compare_exchange") == 0) return op.args <= 2;
+  return op.op == "=";  // plain assignment: an implicit seq_cst store
+}
+
+// ---------------------------------------------------------------------------
 // Whole-program index
 // ---------------------------------------------------------------------------
 
@@ -569,6 +699,8 @@ std::size_t scan_init_list(std::string_view code, std::size_t p) {
   }
 }
 
+}  // namespace
+
 /// Walk a member-access chain backwards from `end` (exclusive end of the
 /// final identifier). Appends components front-first into `chain`; returns
 /// the offset of the chain's first component, or npos on failure (the chain
@@ -600,6 +732,8 @@ std::size_t parse_chain_back(std::string_view code, std::size_t end,
   }
   return std::string_view::npos;
 }
+
+namespace {
 
 void collect_class_regions(const Tree& tree, int fi, const std::string& pp,
                            std::vector<ClassRegion>& out) {
@@ -634,7 +768,7 @@ void collect_class_regions(const Tree& tree, int fi, const std::string& pp,
 }
 
 void collect_fields(const SourceFile& f, const std::string& pp,
-                    const ClassRegion& region, Index& idx) {
+                    const ClassRegion& region, std::vector<FieldDecl>& out) {
   // Member-scope statements: text between ';' / '}' boundaries at the
   // region's top brace depth. Function bodies and nested classes nest one
   // level deeper and terminate with '}', so their statements are dropped.
@@ -735,13 +869,13 @@ void collect_fields(const SourceFile& f, const std::string& pp,
     field.guarded = s.find("PREMA_GUARDED_BY") != std::string_view::npos ||
                     s.find("PREMA_PT_GUARDED_BY") != std::string_view::npos ||
                     type.find("atomic") != std::string::npos;
-    idx.fields.push_back(std::move(field));
+    out.push_back(std::move(field));
   }
   (void)f;
 }
 
 void collect_functions(const Tree& tree, int fi, const std::string& pp,
-                       Index& idx) {
+                       std::vector<FunctionDef>& out) {
   const std::string_view code = pp;
   for (std::size_t q = 0; q < code.size(); ++q) {
     if (code[q] != '(') continue;
@@ -859,7 +993,7 @@ void collect_functions(const Tree& tree, int fi, const std::string& pp,
     fn.body_begin = body;
     fn.body_end = body_end;
     fn.requires_locks = std::move(requires_locks);
-    idx.funcs.push_back(std::move(fn));
+    out.push_back(std::move(fn));
   }
   (void)tree;
 }
@@ -1225,14 +1359,30 @@ const FieldDecl* Index::find_field(const std::string& cls_hint, int file,
   return nullptr;
 }
 
-Index build_index(const Tree& tree) {
+Index build_index(const Tree& tree, const Executor* exec) {
+  // Phases over independent files (or functions) run through `exec` when one
+  // is supplied; each task writes its own slot and slots merge in file/func
+  // order, so the index is byte-identical to the serial build at any width.
+  const auto shard = [exec](std::size_t n,
+                            const std::function<void(std::size_t)>& task) {
+    if (exec != nullptr && n > 1) {
+      exec->run(n, task);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) task(i);
+    }
+  };
   Index idx;
   idx.tree = &tree;
-  std::vector<std::string> pps;
-  pps.reserve(tree.files.size());
-  for (std::size_t fi = 0; fi < tree.files.size(); ++fi) {
-    pps.push_back(blank_preprocessor(tree.files[fi].code));
-    collect_class_regions(tree, static_cast<int>(fi), pps.back(), idx.classes);
+  const std::size_t nfiles = tree.files.size();
+  std::vector<std::string> pps(nfiles);
+  std::vector<std::vector<ClassRegion>> regions(nfiles);
+  shard(nfiles, [&](std::size_t fi) {
+    pps[fi] = blank_preprocessor(tree.files[fi].code);
+    collect_class_regions(tree, static_cast<int>(fi), pps[fi], regions[fi]);
+  });
+  for (const std::vector<ClassRegion>& file_regions : regions) {
+    idx.classes.insert(idx.classes.end(), file_regions.begin(),
+                       file_regions.end());
   }
   for (const ClassRegion& region : idx.classes) {
     idx.class_names.insert(region.name);
@@ -1241,9 +1391,17 @@ Index build_index(const Tree& tree) {
   // and let exact (cls, name) duplicates from the enclosing region stand —
   // find_field prefers the first hit with a class hint, and nested regions
   // have distinct names in practice.
-  for (const ClassRegion& region : idx.classes) {
+  std::vector<std::vector<FieldDecl>> fields(idx.classes.size());
+  shard(idx.classes.size(), [&](std::size_t ri) {
+    const ClassRegion& region = idx.classes[ri];
     collect_fields(tree.files[static_cast<std::size_t>(region.file)],
-                   pps[static_cast<std::size_t>(region.file)], region, idx);
+                   pps[static_cast<std::size_t>(region.file)], region,
+                   fields[ri]);
+  });
+  for (std::vector<FieldDecl>& region_fields : fields) {
+    for (FieldDecl& field : region_fields) {
+      idx.fields.push_back(std::move(field));
+    }
   }
   // Drop fields whose offsets fall inside a *smaller* nested region of a
   // different class: the nested scan already records them under the right
@@ -1271,8 +1429,14 @@ Index build_index(const Tree& tree) {
     idx.fields = std::move(keep);
   }
   collect_capabilities(tree, idx);
-  for (std::size_t fi = 0; fi < tree.files.size(); ++fi) {
-    collect_functions(tree, static_cast<int>(fi), pps[fi], idx);
+  std::vector<std::vector<FunctionDef>> funcs(nfiles);
+  shard(nfiles, [&](std::size_t fi) {
+    collect_functions(tree, static_cast<int>(fi), pps[fi], funcs[fi]);
+  });
+  for (std::vector<FunctionDef>& file_funcs : funcs) {
+    for (FunctionDef& fn : file_funcs) {
+      idx.funcs.push_back(std::move(fn));
+    }
   }
   for (std::size_t i = 0; i < idx.funcs.size(); ++i) {
     FunctionDef& fn = idx.funcs[i];
@@ -1327,15 +1491,21 @@ Index build_index(const Tree& tree) {
       }
     }
   }
-  for (std::size_t i = 0; i < idx.funcs.size(); ++i) {
-    FunctionDef& fn = idx.funcs[i];
-    collect_acquisitions(idx, fn,
-                         tree.files[static_cast<std::size_t>(fn.file)]);
-  }
-  for (std::size_t i = 0; i < idx.funcs.size(); ++i) {
+  // Each task mutates one FunctionDef and reads the (now frozen) shared maps.
+  shard(idx.funcs.size(), [&](std::size_t i) {
+    collect_acquisitions(idx, idx.funcs[i],
+                         tree.files[static_cast<std::size_t>(idx.funcs[i].file)]);
+  });
+  std::vector<std::vector<CallSite>> calls(idx.funcs.size());
+  shard(idx.funcs.size(), [&](std::size_t i) {
     collect_calls(idx, static_cast<int>(i),
                   tree.files[static_cast<std::size_t>(idx.funcs[i].file)],
-                  pps[static_cast<std::size_t>(idx.funcs[i].file)], idx.calls);
+                  pps[static_cast<std::size_t>(idx.funcs[i].file)], calls[i]);
+  });
+  for (std::vector<CallSite>& fn_calls : calls) {
+    for (CallSite& call : fn_calls) {
+      idx.calls.push_back(std::move(call));
+    }
   }
   return idx;
 }
@@ -1490,6 +1660,195 @@ std::vector<WriteSite> collect_writes(const SourceFile& f, std::size_t begin,
 
   std::sort(out.begin(), out.end(),
             [](const WriteSite& a, const WriteSite& b) { return a.pos < b.pos; });
+  return out;
+}
+
+namespace {
+
+/// Class owning the receiver of an atomic op: `x.load()` resolves `x`'s
+/// declared type; a bare `field.load()` belongs to the enclosing method's
+/// class. Unresolvable receivers (locals of unknown type) get "".
+std::string atomic_receiver_class(const Index& idx, const SourceFile& f,
+                                  int file,
+                                  const std::vector<std::string>& chain,
+                                  std::size_t pos) {
+  const int efn = idx.enclosing(file, pos);
+  const auto enclosing_cls = [&]() -> std::string {
+    if (efn < 0) return "";
+    const std::string& qual = idx.funcs[static_cast<std::size_t>(efn)].qual;
+    const std::size_t sep = qual.rfind("::");
+    if (sep == std::string::npos) return "";
+    const std::string scope = qual.substr(0, sep);
+    const std::size_t sep2 = scope.rfind("::");
+    return sep2 == std::string::npos ? scope : scope.substr(sep2 + 2);
+  };
+  if (chain.size() >= 2) {
+    const std::string& comp = chain[chain.size() - 2];
+    if (comp == "this") return enclosing_cls();
+    if (const auto it = idx.member_types.find(comp);
+        it != idx.member_types.end()) {
+      return it->second;
+    }
+    if (efn >= 0) {
+      return local_type_of(idx, f, idx.funcs[static_cast<std::size_t>(efn)],
+                           comp, pos);
+    }
+    return "";
+  }
+  return enclosing_cls();
+}
+
+}  // namespace
+
+std::vector<AtomicDecl> collect_atomic_decls(const Index& idx) {
+  std::vector<AtomicDecl> out;
+  const Tree& tree = *idx.tree;
+  for (std::size_t fi = 0; fi < tree.files.size(); ++fi) {
+    const SourceFile& f = tree.files[fi];
+    const std::string pp = blank_preprocessor(f.code);
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_ident(pp, "atomic", from, true, false);
+      if (pos == std::string::npos) break;
+      from = pos + 1;
+      std::size_t p = skip_ws(pp, pos + 6);
+      if (p >= pp.size() || pp[p] != '<') continue;
+      // Matching '>' of the template argument list.
+      int depth = 0;
+      std::size_t q = p;
+      for (; q < pp.size(); ++q) {
+        if (pp[q] == '<') {
+          ++depth;
+        } else if (pp[q] == '>') {
+          if (--depth == 0) break;
+        } else if (pp[q] == ';') {
+          break;  // runaway: a stray comparison, not a template
+        }
+      }
+      if (q >= pp.size() || pp[q] != '>') continue;
+      p = skip_ws(pp, q + 1);
+      // References / pointers to atomics alias a declaration elsewhere.
+      if (p < pp.size() && (pp[p] == '&' || pp[p] == '*')) continue;
+      const std::size_t name_begin = p;
+      while (p < pp.size() && ident_char(pp[p])) ++p;
+      if (p == name_begin ||
+          std::isdigit(static_cast<unsigned char>(pp[name_begin]))) {
+        continue;
+      }
+      const std::size_t after = skip_ws(pp, p);
+      if (after < pp.size() && pp[after] == '(') continue;  // function decl
+      AtomicDecl d;
+      d.name = pp.substr(name_begin, p - name_begin);
+      d.file = static_cast<int>(fi);
+      d.pos = name_begin;
+      d.line = line_of(pp, name_begin);
+      const ClassRegion* owner = nullptr;
+      for (const ClassRegion& region : idx.classes) {
+        if (region.file != static_cast<int>(fi) ||
+            name_begin <= region.body_begin || name_begin >= region.body_end) {
+          continue;
+        }
+        if (owner == nullptr || region.body_end - region.body_begin <
+                                    owner->body_end - owner->body_begin) {
+          owner = &region;
+        }
+      }
+      if (owner != nullptr) d.cls = owner->name;
+      const std::size_t semi = pp.find(';', name_begin);
+      const std::string_view stmt =
+          std::string_view(pp).substr(name_begin,
+                                      (semi == std::string::npos ? pp.size()
+                                                                 : semi) -
+                                          name_begin);
+      d.annotated = stmt.find("PREMA_GUARDED_BY") != std::string_view::npos ||
+                    stmt.find("PREMA_PT_GUARDED_BY") != std::string_view::npos;
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+std::vector<AtomicOp> collect_atomic_ops(const Index& idx,
+                                         const std::set<std::string>& names) {
+  static constexpr const char* kCalls[] = {
+      "load",      "store",     "exchange", "compare_exchange_weak",
+      "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor"};
+  std::vector<AtomicOp> out;
+  const Tree& tree = *idx.tree;
+  for (std::size_t fi = 0; fi < tree.files.size(); ++fi) {
+    const SourceFile& f = tree.files[fi];
+    const std::string_view code = f.code;
+    for (const char* call : kCalls) {
+      const std::string_view callee = call;
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = find_member_call(code, callee, from);
+        if (pos == std::string_view::npos) break;
+        from = pos + 1;
+        std::size_t r = pos - 1;  // '.' or the '>' of '->'
+        if (code[r] == '>') --r;
+        std::vector<std::string> chain;
+        if (parse_chain_back(code, skip_ws_back(code, r), chain) ==
+                std::string_view::npos ||
+            chain.empty() || names.count(chain.back()) == 0) {
+          continue;
+        }
+        const std::size_t open = skip_ws(code, pos + callee.size());
+        if (open >= code.size() || code[open] != '(') continue;
+        const std::size_t close = matching_paren(code, open);
+        if (close == std::string_view::npos) continue;
+        AtomicOp op;
+        op.field = chain.back();
+        op.op = std::string(callee);
+        op.file = static_cast<int>(fi);
+        op.pos = pos;
+        const auto args = split_args(code.substr(open + 1, close - open - 1));
+        op.args = static_cast<int>(args.size());
+        for (const std::string& a : args) {
+          std::size_t mp = 0;
+          while ((mp = a.find("memory_order", mp)) != std::string::npos) {
+            std::size_t s = mp + 12;
+            if (s < a.size() && a[s] == '_') {
+              ++s;
+            } else if (s + 1 < a.size() && a[s] == ':' && a[s + 1] == ':') {
+              s += 2;
+            } else {
+              mp = s;
+              continue;
+            }
+            std::size_t e = s;
+            while (e < a.size() && ident_char(a[e])) ++e;
+            if (e > s) op.orders.push_back(a.substr(s, e - s));
+            mp = e;
+          }
+        }
+        op.cls =
+            atomic_receiver_class(idx, f, static_cast<int>(fi), chain, pos);
+        out.push_back(std::move(op));
+      }
+    }
+    // Operator forms (`flag = true`, `++counter`, `counter += n`) route
+    // through the overloaded atomic operators — all implicitly seq_cst.
+    for (const WriteSite& site : collect_writes(f, 0, code.size())) {
+      if (names.count(site.chain.back()) == 0) continue;
+      const bool atomic_form =
+          site.op == "=" || site.op == "++" || site.op == "--" ||
+          (site.op.size() == 2 && site.op[1] == '=');
+      if (!atomic_form) continue;
+      AtomicOp op;
+      op.field = site.chain.back();
+      op.op = site.op;
+      op.file = static_cast<int>(fi);
+      op.pos = site.pos;
+      op.cls = atomic_receiver_class(idx, f, static_cast<int>(fi), site.chain,
+                                     site.pos);
+      out.push_back(std::move(op));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const AtomicOp& a, const AtomicOp& b) {
+    return a.file != b.file ? a.file < b.file : a.pos < b.pos;
+  });
   return out;
 }
 

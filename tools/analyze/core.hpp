@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -45,15 +46,23 @@ struct Finding {
 /// (no line number, so findings don't churn when code moves within a file).
 std::string fingerprint(const Finding& f);
 
+struct Index;
+
 /// Inputs shared by the passes. Empty text disables the dependent checks
 /// (fixtures provide their own hierarchy; a missing DESIGN.md skips the
-/// drift check; no protocol specs disables protocol-fsm).
+/// drift check; no protocol specs disables protocol-fsm; an empty atomics
+/// manifest disables the atomic-discipline and release-acquire passes).
 struct Options {
   std::string hierarchy_text;  ///< contents of tools/analyze/lock_hierarchy.txt
   std::string design_text;     ///< contents of DESIGN.md (drift check)
+  std::string atomics_text;    ///< contents of tools/analyze/atomics.txt
   /// Protocol state-machine specs (tools/analyze/protocols/*.txt), as
   /// (spec-name, contents) pairs in deterministic order.
   std::vector<std::pair<std::string, std::string>> protocol_specs;
+  /// Prebuilt whole-program index shared across passes (set by the engine and
+  /// by run_all_passes). Passes that need the index build their own when
+  /// null, so fixtures can still call a single pass directly.
+  const Index* index = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -114,6 +123,82 @@ std::optional<ProtocolSpec> parse_protocol_spec(const std::string& spec_name,
                                                 std::vector<Finding>& errors);
 
 // ---------------------------------------------------------------------------
+// Atomics manifest (tools/analyze/atomics.txt)
+// ---------------------------------------------------------------------------
+
+/// One registered std::atomic declaration. `role` constrains which operations
+/// are legitimate (read-modify-writes only on counters), `orders` is the set
+/// of memory-order suffixes (`relaxed`, `acquire`, `release`, `acq_rel`,
+/// `seq_cst`) its operations may spell explicitly.
+struct AtomicEntry {
+  std::string name;               ///< declared identifier (trailing '_' kept)
+  std::string role;               ///< flag | counter | seqcount | published-ptr
+  std::set<std::string> orders;   ///< allowed explicit memory-order suffixes
+  std::string cls;                ///< owning-class qualifier ("" = any)
+  std::string path;               ///< rel-path substring qualifier ("" = any)
+  int line = 0;                   ///< line in the manifest
+};
+
+/// Parse atomics.txt. Grammar (one entry per line, '#' comments):
+///   <name> role=<flag|counter|seqcount|published-ptr> orders=<o1[,o2...]>
+///          [class=<Class>] [file=<rel-path-substring>]
+/// Malformed lines are reported into `errors` (rule `atomic-manifest`,
+/// file = `manifest_name`); well-formed entries are always returned.
+std::vector<AtomicEntry> parse_atomics_manifest(const std::string& manifest_name,
+                                                std::string_view text,
+                                                std::vector<Finding>& errors);
+
+/// Manifest entry index for atomic `name` declared in class `cls` (may be ""
+/// for function-local statics / unresolved receivers) in file `rel`; -1 when
+/// nothing matches. A class qualifier only discriminates when both sides are
+/// known; a path qualifier always must match.
+int resolve_atomic(const std::vector<AtomicEntry>& entries, std::string_view rel,
+                   std::string_view cls, std::string_view name);
+
+/// A `std::atomic<T> name` declaration discovered in the tree: class fields,
+/// function-local statics and namespace-scope objects alike.
+struct AtomicDecl {
+  std::string name;
+  std::string cls;  ///< innermost enclosing class ("" for non-members)
+  int file = -1;
+  int line = 0;
+  std::size_t pos = 0;    ///< offset of the declared name
+  bool annotated = false;  ///< PREMA_GUARDED_BY also present on the statement
+};
+
+/// Every atomic declaration in the tree, in (file, offset) order. Reference
+/// and pointer bindings (`std::atomic<int>&`) and function declarations
+/// returning an atomic are not declarations of a new atomic object.
+std::vector<AtomicDecl> collect_atomic_decls(const Index& idx);
+
+/// One operation on a (suspected) atomic object: a member call such as
+/// `x.load(...)` / `x.fetch_add(...)`, or an operator form (`++x`, `x = v`).
+struct AtomicOp {
+  std::string field;                ///< final chain component (the object)
+  std::string cls;                  ///< resolved receiver class ("" unknown)
+  std::string op;     ///< "load", "store", "fetch_add", ..., "++", "--", "="
+  int file = -1;
+  std::size_t pos = 0;              ///< offset of the op (or written name)
+  int args = 0;                     ///< argument count (member calls only)
+  std::vector<std::string> orders;  ///< explicit memory_order_* suffixes
+};
+
+/// True for exchange / compare_exchange_* / fetch_* / ++ / -- / compound ops.
+bool atomic_op_is_rmw(const std::string& op);
+
+/// True when the op spells no memory order but could: `load()` with no
+/// argument, `store(v)` / `exchange(v)` / `fetch_*(v)` with one, a plain
+/// `=` assignment. Operator increments cannot spell an order and are exempt.
+bool atomic_op_is_implicit(const AtomicOp& op);
+
+/// Scan the whole tree for operations whose receiver's final component is in
+/// `names`. Receiver classes are resolved through the index (member types,
+/// enclosing class for bare members); unresolvable receivers get cls "".
+/// Sorted by (file, pos).
+std::vector<AtomicOp> collect_atomic_ops(const Index& idx,
+                                         const std::set<std::string>& names);
+
+// ---------------------------------------------------------------------------
 // Lexing / scanning helpers
 // ---------------------------------------------------------------------------
 
@@ -160,6 +245,13 @@ std::optional<std::string> call_string_arg(const SourceFile& f, std::size_t open
 
 /// Split an annotation argument list at top-level commas.
 std::vector<std::string> split_args(std::string_view args);
+
+/// Walk a member-access chain backwards from `end` (exclusive end of the
+/// final identifier). Appends components front-first into `chain` (`a.b->c`
+/// yields {"a","b","c"}); returns the offset of the chain's first component,
+/// or npos on failure (the chain starts from a call/temporary).
+std::size_t parse_chain_back(std::string_view code, std::size_t end,
+                             std::vector<std::string>& chain);
 
 /// Canonical base name of a lock expression: `node_.state_mutex()` ->
 /// "state_mutex", `mu_` -> "mu" (member access, call parens, `&`, `this->`
@@ -266,8 +358,23 @@ struct Index {
                               const std::string& name) const;
 };
 
-/// Build the whole-program index for `tree`.
-Index build_index(const Tree& tree);
+/// Minimal parallel-for interface, implemented by the engine's thread pool,
+/// so build_index can shard its per-file and per-function phases without the
+/// core depending on threads. Implementations must invoke fn(i) exactly once
+/// for every i in [0, n) and return only when all invocations finished.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void run(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const = 0;
+};
+
+/// Build the whole-program index for `tree`. With an executor, the per-file
+/// collection phases (preprocessor blanking, class regions, fields, function
+/// discovery) and the per-function phases (acquisitions, call sites) run
+/// sharded; results are merged in file/function order, so the index is
+/// byte-identical to the serial build.
+Index build_index(const Tree& tree, const Executor* exec = nullptr);
 
 /// May-hold lock sets at function entry, propagated to a fixed point over
 /// resolved call edges: entry(callee) ⊇ holds-at-call-site(caller). Seeded

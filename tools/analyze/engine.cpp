@@ -1,0 +1,301 @@
+#include "analyze/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <thread>
+
+namespace prema::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Bump when the cache record format or anything feeding the finding
+/// messages changes shape: stale-format entries then simply never hit.
+constexpr const char* kCacheHeader = "prema-analyze-cache 1";
+
+std::uint64_t fnv1a(std::string_view data,
+                    std::uint64_t h = 1469598103934665603ull) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t h) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return s;
+}
+
+/// Work-stealing-by-counter executor: `run` fans `fn(0..n)` over up to
+/// `jobs` threads (the caller's thread takes a share). Tasks pull the next
+/// index from an atomic counter, so long tasks don't straggle a static
+/// partition.
+class ThreadPool final : public Executor {
+ public:
+  explicit ThreadPool(int jobs) : jobs_(jobs) {}
+
+  void run(std::size_t n,
+           const std::function<void(std::size_t)>& fn) const override {
+    const int width = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
+    if (width <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&next, &fn, n] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    };
+    std::vector<std::thread> extra;
+    extra.reserve(static_cast<std::size_t>(width - 1));
+    for (int k = 1; k < width; ++k) extra.emplace_back(worker);
+    worker();
+    for (std::thread& t : extra) t.join();
+  }
+
+ private:
+  int jobs_;
+};
+
+/// One file per entry under `dir`; atomic tmp-write + rename so concurrent
+/// writers (tasks in this run, or a second analyzer process) never expose a
+/// torn record. Any read problem degrades to a miss.
+struct Cache {
+  std::string dir;  // "" = disabled
+
+  bool load(const std::string& key, Findings& out) const {
+    if (dir.empty()) return false;
+    std::ifstream in(fs::path(dir) / (key + ".rec"), std::ios::binary);
+    if (!in) return false;
+    std::string line;
+    if (!std::getline(in, line) || line != kCacheHeader) return false;
+    Findings loaded;
+    while (std::getline(in, line)) {
+      std::vector<std::string> parts;
+      std::size_t start = 0;
+      while (parts.size() < 3) {
+        const std::size_t sep = line.find('\x1f', start);
+        if (sep == std::string::npos) break;
+        parts.push_back(line.substr(start, sep - start));
+        start = sep + 1;
+      }
+      if (parts.size() != 3) return false;
+      Finding f;
+      f.rule = parts[0];
+      f.file = parts[1];
+      f.line = std::atoi(parts[2].c_str());
+      f.message = line.substr(start);
+      loaded.push_back(std::move(f));
+    }
+    for (Finding& f : loaded) out.push_back(std::move(f));
+    return true;
+  }
+
+  void store(const std::string& key, const Findings& findings) const {
+    if (dir.empty()) return;
+    const fs::path path = fs::path(dir) / (key + ".rec");
+    const fs::path tmp =
+        fs::path(dir) /
+        (key + ".tmp" +
+         std::to_string(
+             std::hash<std::thread::id>{}(std::this_thread::get_id())));
+    {
+      std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+      if (!outf) return;
+      outf << kCacheHeader << '\n';
+      for (const Finding& f : findings) {
+        outf << f.rule << '\x1f' << f.file << '\x1f' << f.line << '\x1f'
+             << f.message << '\n';
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) fs::remove(tmp, ec);
+  }
+};
+
+}  // namespace
+
+void run_engine(const Tree& tree, const Options& opts,
+                const EngineOptions& eopts, Findings& out,
+                EngineStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const auto ms_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  int jobs = eopts.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  const ThreadPool pool(jobs);
+
+  std::vector<const PassInfo*> selected;
+  for (const PassInfo& p : all_passes()) {
+    if (eopts.passes.empty() ||
+        std::find(eopts.passes.begin(), eopts.passes.end(), p.name) !=
+            eopts.passes.end()) {
+      selected.push_back(&p);
+    }
+  }
+
+  Cache cache{eopts.cache_dir};
+  if (!cache.dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cache.dir, ec);
+    if (ec) cache.dir.clear();
+  }
+
+  // Input hashes: the option texts feed every key; each file's key covers
+  // its path and raw bytes; the whole-tree key covers every file.
+  std::uint64_t opts_hash = fnv1a(kCacheHeader);
+  const auto mix = [&opts_hash](std::string_view label,
+                                std::string_view text) {
+    opts_hash = fnv1a(label, opts_hash);
+    opts_hash = fnv1a("\x1f", opts_hash);
+    opts_hash = fnv1a(text, opts_hash);
+    opts_hash = fnv1a("\x1e", opts_hash);
+  };
+  mix("hierarchy", opts.hierarchy_text);
+  mix("design", opts.design_text);
+  mix("atomics", opts.atomics_text);
+  for (const auto& [spec_name, spec_text] : opts.protocol_specs) {
+    mix(spec_name, spec_text);
+  }
+  std::vector<std::uint64_t> file_hashes(tree.files.size());
+  pool.run(tree.files.size(), [&](std::size_t i) {
+    std::uint64_t h = fnv1a(tree.files[i].rel);
+    h = fnv1a("\x1f", h);
+    file_hashes[i] = fnv1a(tree.files[i].raw, h);
+  });
+  std::uint64_t tree_hash = fnv1a("tree");
+  for (const std::uint64_t h : file_hashes) {
+    tree_hash = fnv1a(hex16(h), tree_hash);
+  }
+  const auto cache_key = [&](const char* kind, const char* pass,
+                             std::uint64_t input) {
+    std::uint64_t h = fnv1a(kind);
+    h = fnv1a("\x1f", h);
+    h = fnv1a(pass, h);
+    h = fnv1a("\x1f", h);
+    h = fnv1a(hex16(opts_hash), h);
+    h = fnv1a("\x1f", h);
+    h = fnv1a(hex16(input), h);
+    return hex16(h);
+  };
+
+  // Result slots, preassigned so concatenation order — (pass registry
+  // order, file order) — never depends on task completion order.
+  struct Slot {
+    Findings findings;
+    double ms = 0;
+    bool hit = false;
+    std::string key;
+    const PassInfo* pass = nullptr;
+    int file = -1;  ///< -1 = whole tree
+  };
+  std::vector<std::vector<Slot>> slots(selected.size());
+  for (std::size_t pi = 0; pi < selected.size(); ++pi) {
+    const PassInfo& p = *selected[pi];
+    slots[pi].resize(p.per_file ? tree.files.size() : 1);
+    for (std::size_t si = 0; si < slots[pi].size(); ++si) {
+      Slot& s = slots[pi][si];
+      s.pass = &p;
+      if (p.per_file) {
+        s.file = static_cast<int>(si);
+        s.key = cache_key("file", p.name, file_hashes[si]);
+      } else {
+        s.key = cache_key("tree", p.name, tree_hash);
+      }
+      s.hit = cache.load(s.key, s.findings);
+    }
+  }
+
+  // The shared index is only worth building when an index pass has to run.
+  bool need_index = false;
+  for (std::size_t pi = 0; pi < selected.size(); ++pi) {
+    if (selected[pi]->needs_index && !slots[pi][0].hit) need_index = true;
+  }
+  std::optional<Index> index;
+  if (need_index) {
+    const auto i0 = Clock::now();
+    index.emplace(build_index(tree, &pool));
+    if (stats != nullptr) stats->index_ms = ms_between(i0, Clock::now());
+  }
+
+  // Whole-tree tasks first: they are the long poles, so starting them first
+  // lets the per-file shards fill the remaining threads.
+  std::vector<Slot*> tasks;
+  for (std::size_t pi = 0; pi < selected.size(); ++pi) {
+    if (!selected[pi]->per_file && !slots[pi][0].hit) {
+      tasks.push_back(&slots[pi][0]);
+    }
+  }
+  for (std::size_t pi = 0; pi < selected.size(); ++pi) {
+    if (!selected[pi]->per_file) continue;
+    for (Slot& s : slots[pi]) {
+      if (!s.hit) tasks.push_back(&s);
+    }
+  }
+  Options tree_opts = opts;
+  tree_opts.index = need_index ? &*index : nullptr;
+  Options file_opts = opts;
+  file_opts.index = nullptr;
+  pool.run(tasks.size(), [&](std::size_t ti) {
+    Slot& s = *tasks[ti];
+    const auto s0 = Clock::now();
+    if (s.file >= 0) {
+      Tree sub;
+      sub.files.push_back(tree.files[static_cast<std::size_t>(s.file)]);
+      s.pass->fn(sub, file_opts, s.findings);
+    } else {
+      s.pass->fn(tree, tree_opts, s.findings);
+    }
+    s.ms = ms_between(s0, Clock::now());
+    cache.store(s.key, s.findings);
+  });
+
+  for (std::size_t pi = 0; pi < selected.size(); ++pi) {
+    PassStat stat;
+    stat.name = selected[pi]->name;
+    for (Slot& s : slots[pi]) {
+      stat.ms += s.ms;
+      if (s.hit) {
+        ++stat.cache_hits;
+      } else {
+        ++stat.cache_misses;
+      }
+      for (Finding& f : s.findings) out.push_back(std::move(f));
+    }
+    if (stats != nullptr) {
+      stats->cache_hits += stat.cache_hits;
+      stats->cache_misses += stat.cache_misses;
+      stats->task_ms += stat.ms;
+      stats->passes.push_back(std::move(stat));
+    }
+  }
+  if (stats != nullptr) {
+    stats->jobs = jobs;
+    stats->wall_ms = ms_between(t0, Clock::now());
+  }
+}
+
+}  // namespace prema::analyze

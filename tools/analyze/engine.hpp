@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.hpp"
+
+/// \file engine.hpp
+/// The parallel + incremental analyzer driver. Passes stay pure functions
+/// over the tree; the engine decides how to run them:
+///
+///  - per-file passes (conventions, time-domain) shard into one task per
+///    file, each run over a single-file view of the tree;
+///  - whole-tree passes run as one task each, sharing one whole-program
+///    index built in parallel through the same pool;
+///  - every task writes a preassigned result slot, and slots concatenate in
+///    (pass registry order, file order) — output is byte-identical at any
+///    --jobs width;
+///  - an optional on-disk cache keyed by (format version, pass, manifest
+///    hashes, file content hash) skips tasks whose inputs are unchanged.
+///    Per-file tasks key on their one file, whole-tree tasks on the whole
+///    tree's hash, so touching one file re-runs per-file work for that file
+///    only. Corrupt or unreadable entries degrade to a miss.
+
+namespace prema::analyze {
+
+struct EngineOptions {
+  int jobs = 1;               ///< worker threads; 0 = hardware concurrency
+  std::string cache_dir;      ///< "" disables the on-disk cache
+  std::vector<std::string> passes;  ///< registry names to run; empty = all
+};
+
+struct PassStat {
+  std::string name;
+  double ms = 0;                ///< summed task time spent in this pass
+  std::size_t cache_hits = 0;   ///< tasks answered from the cache
+  std::size_t cache_misses = 0; ///< tasks actually run
+};
+
+struct EngineStats {
+  std::vector<PassStat> passes;  ///< selected passes, registry order
+  double index_ms = 0;  ///< building the shared whole-program index
+  double task_ms = 0;   ///< summed task time (all passes)
+  double wall_ms = 0;   ///< end-to-end engine time
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  int jobs = 1;  ///< effective worker count
+};
+
+/// Run the selected passes over `tree`, appending findings in deterministic
+/// (pass registry, file) order. `opts.index` is ignored — the engine builds
+/// and shares its own.
+void run_engine(const Tree& tree, const Options& opts,
+                const EngineOptions& eopts, Findings& out,
+                EngineStats* stats = nullptr);
+
+}  // namespace prema::analyze

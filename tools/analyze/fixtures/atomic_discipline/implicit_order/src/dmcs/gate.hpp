@@ -1,0 +1,10 @@
+// Seeded violation: the store spells no memory order, silently buying a
+// seq_cst fence the manifest never reviewed.
+class Gate {
+ public:
+  void open() { flag_.store(true); }
+  bool is_open() const { return flag_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};

@@ -1,0 +1,19 @@
+// Seeded violation: the worker thread writes n_ under mu_, but show() reads
+// it with no lock held — a locked-write/unlocked-read race inside the
+// ThreadMachine closure.
+class Pump {
+ public:
+  void worker_loop() {
+    bump();
+    show();
+  }
+  void bump() {
+    util::LockGuard g(mu_);
+    n_ = n_ + 1;
+  }
+  void show() { use(n_); }
+
+ private:
+  util::Mutex mu_;
+  int n_ PREMA_GUARDED_BY(mu_) = 0;
+};

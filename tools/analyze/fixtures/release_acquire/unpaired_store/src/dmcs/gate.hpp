@@ -1,0 +1,9 @@
+// Seeded violation: the release store publishes, but no site anywhere loads
+// the flag — the acquire partner was refactored away.
+class Gate {
+ public:
+  void open() { flag_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};

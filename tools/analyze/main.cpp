@@ -1,26 +1,30 @@
 // prema_analyze — multi-pass semantic static analyzer for the PREMA runtime.
 //
 //   prema_analyze <src-root> [--hierarchy F] [--design F] [--baseline F]
-//                            [--protocols DIR] [--sarif OUT]
-//                            [--write-baseline F] [--pass NAME]... [--timings]
+//                            [--protocols DIR] [--atomics F] [--sarif OUT]
+//                            [--write-baseline F] [--pass NAME]...
+//                            [--jobs N] [--cache DIR] [--timings]
 //   prema_analyze --list-passes
 //   prema_analyze --self-test
 //
 // Scans the tree rooted at <src-root> with every pass (see passes.hpp),
 // subtracts the baseline and reports what is left. `--pass NAME` (repeatable)
 // restricts the run to the named passes so CI and local runs can bisect a
-// regression; `--timings` prints per-pass wall time to stderr. Exit 0 when no
-// new findings, 1 when there are, 2 on usage/IO errors.
+// regression. `--jobs N` analyzes on N threads (0 = hardware concurrency) —
+// output is byte-identical at any width; `--cache DIR` keeps an incremental
+// result cache keyed by (pass, manifest hashes, file content hash);
+// `--timings` prints per-pass task time plus engine totals to stderr. Exit 0
+// when no new findings, 1 when there are, 2 on usage/IO errors.
 //
 // Defaults, resolved relative to <src-root>'s parent (the repo root when
 // scanning src/): tools/analyze/lock_hierarchy.txt, DESIGN.md,
-// tools/analyze/baseline.txt and tools/analyze/protocols/. A missing
-// *default* file just disables the dependent checks; an explicitly given
-// path must exist.
+// tools/analyze/baseline.txt, tools/analyze/atomics.txt and
+// tools/analyze/protocols/. A missing *default* file just disables the
+// dependent checks; an explicitly given path must exist.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/engine.hpp"
 #include "analyze/report.hpp"
 
 namespace {
@@ -48,9 +53,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: prema_analyze <src-root> [--hierarchy F] [--design F]\n"
                "                     [--baseline F] [--protocols DIR] "
-               "[--sarif OUT]\n"
-               "                     [--write-baseline F] [--pass NAME]... "
-               "[--timings]\n"
+               "[--atomics F]\n"
+               "                     [--sarif OUT] [--write-baseline F] "
+               "[--pass NAME]...\n"
+               "                     [--jobs N] [--cache DIR] [--timings]\n"
                "       prema_analyze --list-passes\n"
                "       prema_analyze --self-test\n");
   return 2;
@@ -98,9 +104,12 @@ int main(int argc, char** argv) {
   std::string design_path;
   std::string baseline_path;
   std::string protocols_path;
+  std::string atomics_path;
   std::string sarif_out;
   std::string write_baseline_out;
+  std::string cache_dir;
   std::set<std::string> selected;
+  int jobs = 1;
   bool timings = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -118,6 +127,14 @@ int main(int argc, char** argv) {
       baseline_path = value;
     } else if (flag == "--protocols") {
       protocols_path = value;
+    } else if (flag == "--atomics") {
+      atomics_path = value;
+    } else if (flag == "--jobs") {
+      char* end = nullptr;
+      jobs = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (end == nullptr || *end != '\0' || jobs < 0) return usage();
+    } else if (flag == "--cache") {
+      cache_dir = value;
     } else if (flag == "--sarif") {
       sarif_out = value;
     } else if (flag == "--write-baseline") {
@@ -169,6 +186,8 @@ int main(int argc, char** argv) {
   if (!resolve(hierarchy_path, repo / "tools" / "analyze" / "lock_hierarchy.txt",
                opts.hierarchy_text) ||
       !resolve(design_path, repo / "DESIGN.md", opts.design_text) ||
+      !resolve(atomics_path, repo / "tools" / "analyze" / "atomics.txt",
+               opts.atomics_text) ||
       !resolve(baseline_path, repo / "tools" / "analyze" / "baseline.txt",
                baseline_text)) {
     return 2;
@@ -180,19 +199,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Findings all;
-  std::size_t passes_run = 0;
+  EngineOptions eng;
+  eng.jobs = jobs;
+  eng.cache_dir = cache_dir;
   for (const PassInfo& p : all_passes()) {
-    if (!selected.empty() && selected.count(p.name) == 0) continue;
-    const auto t0 = std::chrono::steady_clock::now();
-    p.fn(tree, opts, all);
-    const auto t1 = std::chrono::steady_clock::now();
-    ++passes_run;
-    if (timings) {
-      const double ms =
-          std::chrono::duration<double, std::milli>(t1 - t0).count();
-      std::fprintf(stderr, "prema_analyze: pass %-14s %8.1f ms\n", p.name, ms);
+    if (selected.empty() || selected.count(p.name) != 0) {
+      eng.passes.push_back(p.name);
     }
+  }
+  Findings all;
+  EngineStats stats;
+  run_engine(tree, opts, eng, all, &stats);
+  const std::size_t passes_run = eng.passes.size();
+  if (timings) {
+    for (const PassStat& ps : stats.passes) {
+      std::fprintf(stderr,
+                   "prema_analyze: pass %-17s %8.1f ms  (%zu cached, "
+                   "%zu computed)\n",
+                   ps.name.c_str(), ps.ms, ps.cache_hits, ps.cache_misses);
+    }
+    std::fprintf(stderr,
+                 "prema_analyze: index %.1f ms, tasks %.1f ms, wall %.1f ms, "
+                 "jobs %d, cache %zu/%zu hit(s)\n",
+                 stats.index_ms, stats.task_ms, stats.wall_ms, stats.jobs,
+                 stats.cache_hits, stats.cache_hits + stats.cache_misses);
   }
 
   if (!write_baseline_out.empty()) {

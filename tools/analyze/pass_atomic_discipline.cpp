@@ -1,0 +1,140 @@
+// Atomic discipline — the manifest-driven half of the memory-model layer.
+// Every std::atomic in the tree must be registered in
+// tools/analyze/atomics.txt with a role and the set of memory orders its
+// uses are allowed to spell:
+//
+//   <name> role=<flag|counter|seqcount|published-ptr> orders=<o1[,o2...]>
+//          [class=<Cls>] [file=<rel-path-substring>]
+//
+// The manifest is the reviewed source of truth: an atomic that is not
+// registered has never had its ordering argued about, and an operation
+// spelling no order at all silently buys seq_cst — usually by accident,
+// occasionally hiding a real acquire/release dependency under the strongest
+// (and slowest) fence.
+//
+//  atomic-unregistered    a std::atomic declaration with no manifest entry.
+//  atomic-implicit-order  load()/store(v)/RMW with no memory-order argument,
+//                         or a plain `=` assignment routing through the
+//                         implicitly-seq_cst store operator. `++`/`+=` are
+//                         exempt: counters legitimately use the operator
+//                         forms, and non-counter roles hit atomic-rmw.
+//  atomic-rmw             read-modify-write on a role that is not counter or
+//                         seqcount: flags and published pointers are
+//                         store/load protocols, an RMW on one signals a
+//                         design change the manifest never reviewed.
+//  atomic-order           an explicit memory order outside the entry's
+//                         allowed set.
+//  atomic-guarded         a field both atomic and PREMA_GUARDED_BY a mutex:
+//                         two synchronization regimes on one field.
+//  atomic-stale           a manifest entry matching no declaration.
+//  atomic-manifest        the manifest itself failed to parse.
+//
+// Reads that go through the implicit conversion operator (`T x = a;`) carry
+// no member call and are out of scope — the release-acquire pass reasons
+// about explicitly-ordered sites only.
+//
+// `// analyze:allow(<rule>)` on the offending line (or the line above)
+// acknowledges a reviewed exception.
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "analyze/passes.hpp"
+
+namespace prema::analyze {
+
+void pass_atomic_discipline(const Tree& tree, const Options& opts,
+                            Findings& out) {
+  if (opts.atomics_text.empty()) return;
+  std::vector<Finding> manifest_errors;
+  const std::vector<AtomicEntry> entries =
+      parse_atomics_manifest("atomics.txt", opts.atomics_text, manifest_errors);
+  for (const Finding& e : manifest_errors) out.push_back(e);
+
+  std::optional<Index> local;
+  const Index& idx =
+      opts.index != nullptr ? *opts.index : local.emplace(build_index(tree));
+
+  std::set<std::string> reported;
+  auto report = [&](const char* rule, const SourceFile& f, std::size_t pos,
+                    const std::string& key, const std::string& message) {
+    if (allow_comment(f, pos, rule)) return;
+    if (!reported.insert(std::string(rule) + "|" + key).second) return;
+    out.push_back({rule, f.rel, line_of(f.code, pos), message});
+  };
+
+  // -- declarations vs manifest ---------------------------------------------
+  const std::vector<AtomicDecl> decls = collect_atomic_decls(idx);
+  std::vector<char> entry_used(entries.size(), 0);
+  std::set<std::string> names;
+  for (const AtomicEntry& e : entries) names.insert(e.name);
+  for (const AtomicDecl& d : decls) {
+    names.insert(d.name);
+    const SourceFile& f = tree.files[static_cast<std::size_t>(d.file)];
+    const std::string qual = d.cls.empty() ? d.name : d.cls + "::" + d.name;
+    const int ei = resolve_atomic(entries, f.rel, d.cls, d.name);
+    if (ei < 0) {
+      report("atomic-unregistered", f, d.pos, qual,
+             "atomic '" + qual +
+                 "' is not registered in atomics.txt (every std::atomic "
+                 "needs a reviewed role and allowed memory-order set)");
+    } else {
+      entry_used[static_cast<std::size_t>(ei)] = 1;
+    }
+    if (d.annotated) {
+      report("atomic-guarded", f, d.pos, qual,
+             "atomic '" + qual +
+                 "' is also PREMA_GUARDED_BY a mutex — pick one "
+                 "synchronization regime");
+    }
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entry_used[i] != 0) continue;
+    out.push_back({"atomic-stale", "atomics.txt", entries[i].line,
+                   "manifest entry '" + entries[i].name +
+                       "' matches no atomic declaration in the tree"});
+  }
+
+  // -- operation sites vs the entry's role and order set --------------------
+  for (const AtomicOp& op : collect_atomic_ops(idx, names)) {
+    const SourceFile& f = tree.files[static_cast<std::size_t>(op.file)];
+    const int ei = resolve_atomic(entries, f.rel, op.cls, op.field);
+    // Unresolvable sites are same-named plain fields (the manifest's class=
+    // and file= qualifiers exclude them) or unregistered atomics already
+    // reported at the declaration.
+    if (ei < 0) continue;
+    const AtomicEntry& e = entries[static_cast<std::size_t>(ei)];
+    const std::string qual =
+        e.cls.empty() ? e.name : e.cls + "::" + e.name;
+    if (atomic_op_is_implicit(op)) {
+      const std::string spelled =
+          op.op == "=" || op.op.size() == 2
+              ? "operator " + op.op
+              : op.op + "() with no order argument";
+      report("atomic-implicit-order", f, op.pos, qual + "|" + op.op,
+             "'" + qual + "' " + spelled +
+                 " is an implicit seq_cst operation — spell the memory "
+                 "order explicitly");
+    }
+    for (const std::string& o : op.orders) {
+      if (e.orders.count(o) != 0) continue;
+      std::string allowed;
+      for (const std::string& a : e.orders) {
+        allowed += allowed.empty() ? a : ", " + a;
+      }
+      report("atomic-order", f, op.pos, qual + "|" + o,
+             "'" + qual + "' uses memory_order_" + o +
+                 ", outside its allowed set {" + allowed + "}");
+    }
+    if (atomic_op_is_rmw(op.op) && e.role != "counter" &&
+        e.role != "seqcount") {
+      report("atomic-rmw", f, op.pos, qual + "|rmw",
+             "read-modify-write ('" + op.op + "') on '" + qual +
+                 "' whose role is '" + e.role +
+                 "' — RMWs are reserved for counter/seqcount roles");
+    }
+  }
+}
+
+}  // namespace prema::analyze

@@ -31,6 +31,7 @@
 // the check.
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -55,7 +56,9 @@ bool is_protocol_var_write(const WriteSite& site, const std::string& v) {
 
 void pass_protocol_fsm(const Tree& tree, const Options& opts, Findings& out) {
   if (opts.protocol_specs.empty()) return;
-  const Index idx = build_index(tree);
+  std::optional<Index> local;
+  const Index& idx =
+      opts.index != nullptr ? *opts.index : local.emplace(build_index(tree));
 
   for (const auto& [spec_name, text] : opts.protocol_specs) {
     std::vector<Finding> errors;

@@ -25,6 +25,7 @@
 // acknowledges a reviewed exception, e.g. a loop whose results are sorted
 // before use.
 
+#include <optional>
 #include <set>
 #include <string>
 
@@ -100,7 +101,9 @@ std::vector<std::string> range_chain(std::string_view expr) {
 
 void pass_sim_purity(const Tree& tree, const Options& opts, Findings& out) {
   (void)opts;
-  const Index idx = build_index(tree);
+  std::optional<Index> local;
+  const Index& idx =
+      opts.index != nullptr ? *opts.index : local.emplace(build_index(tree));
 
   // Sim domain: everything outside the excluded wall-clock files, plus the
   // forward closure from the SimMachine files over resolved call edges.

@@ -35,6 +35,19 @@
 ///   sim-purity     functions sim-reachable from the SimMachine event loop
 ///                  must not read wall clocks, construct unowned randomness,
 ///                  or iterate unordered containers
+///   atomic-discipline  every std::atomic declaration must be registered in
+///                  tools/analyze/atomics.txt with a role and an allowed
+///                  memory-order set; flags unregistered atomics, implicit
+///                  seq_cst operations, RMWs on non-counter roles, orders
+///                  outside the allowed set, atomics also GUARDED_BY a
+///                  mutex, and stale manifest entries
+///   release-acquire  every explicit release store of a manifest field must
+///                  pair with at least one load on the acquire side, and
+///                  every explicit acquire load with a store on the release
+///                  side (direct evidence only, like lock-flow)
+///   mixed-access   fields of classes reachable from the ThreadMachine
+///                  worker/poller closure with locked plain writes but
+///                  reads carrying no direct lock evidence
 
 namespace prema::analyze {
 
@@ -48,12 +61,22 @@ void pass_time_domain(const Tree& tree, const Options& opts, Findings& out);
 void pass_lock_flow(const Tree& tree, const Options& opts, Findings& out);
 void pass_protocol_fsm(const Tree& tree, const Options& opts, Findings& out);
 void pass_sim_purity(const Tree& tree, const Options& opts, Findings& out);
+void pass_atomic_discipline(const Tree& tree, const Options& opts,
+                            Findings& out);
+void pass_release_acquire(const Tree& tree, const Options& opts, Findings& out);
+void pass_mixed_access(const Tree& tree, const Options& opts, Findings& out);
 
 using PassFn = void (*)(const Tree&, const Options&, Findings&);
 
 struct PassInfo {
   const char* name;
   PassFn fn;
+  /// Findings depend on one file at a time: the engine shards the pass into
+  /// per-file tasks and caches results per (pass, file hash).
+  bool per_file = false;
+  /// Uses the whole-program index: the engine builds it once and shares it
+  /// through Options::index.
+  bool needs_index = false;
 };
 
 /// All passes, in reporting order.

@@ -6,9 +6,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "analyze/engine.hpp"
 #include "analyze/report.hpp"
 
 namespace prema::analyze {
@@ -18,10 +22,11 @@ struct TreeCase {
   TreeCase(const char* label_, PassFn pass_,
            std::vector<std::pair<const char*, const char*>> files_,
            const char* hierarchy_, const char* design_, const char* expect_rule_,
-           std::vector<std::pair<const char*, const char*>> protocols_ = {})
+           std::vector<std::pair<const char*, const char*>> protocols_ = {},
+           const char* atomics_ = "")
       : label(label_), pass(pass_), files(std::move(files_)),
         hierarchy(hierarchy_), design(design_), expect_rule(expect_rule_),
-        protocols(std::move(protocols_)) {}
+        protocols(std::move(protocols_)), atomics(atomics_) {}
 
   const char* label;
   PassFn pass;
@@ -31,6 +36,7 @@ struct TreeCase {
   const char* expect_rule;  ///< nullptr = expect no findings at all
   /// Protocol spec files (name -> text) handed to opts.protocol_specs.
   std::vector<std::pair<const char*, const char*>> protocols;
+  const char* atomics;  ///< atomics.txt text ("" = pass disabled)
 };
 
 std::vector<TreeCase> tree_cases() {
@@ -389,6 +395,277 @@ std::vector<TreeCase> tree_cases() {
                      "};\n"}},
                    "", "", nullptr});
 
+  // -- atomic-discipline ----------------------------------------------------
+  const char* kGate =
+      "class Gate {\n"
+      " public:\n"
+      "  void open() { flag_.store(true, std::memory_order_release); }\n"
+      "  bool is_open() const {\n"
+      "    return flag_.load(std::memory_order_acquire);\n"
+      "  }\n"
+      " private:\n"
+      "  std::atomic<bool> flag_{false};\n"
+      "};\n";
+  const char* kGateManifest =
+      "flag_ role=flag orders=release,acquire class=Gate\n";
+  cases.push_back({"atomic-discipline: registered flag is clean",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp", kGate}},
+                   "", "", nullptr, {}, kGateManifest});
+  cases.push_back({"atomic-discipline: atomic missing from the manifest",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp", kGate}},
+                   "", "", "atomic-unregistered", {},
+                   "# reviewed: nothing registered yet\n"});
+  cases.push_back({"atomic-discipline: allow-comment acknowledges a decl",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     "  // analyze:allow(atomic-unregistered)\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", nullptr, {}, "# reviewed: nothing registered yet\n"});
+  cases.push_back({"atomic-discipline: store with no order is implicit seq_cst",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  void open() { flag_.store(true); }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", "atomic-implicit-order", {}, kGateManifest});
+  cases.push_back({"atomic-discipline: plain `=` routes through seq_cst store",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  void open() { flag_ = true; }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", "atomic-implicit-order", {}, kGateManifest});
+  cases.push_back({"atomic-discipline: order outside the allowed set",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  bool peek() const {\n"
+                     "    return flag_.load(std::memory_order_relaxed);\n"
+                     "  }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", "atomic-order", {}, kGateManifest});
+  cases.push_back({"atomic-discipline: RMW on a flag role",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  bool claim() {\n"
+                     "    return flag_.exchange(true, std::memory_order_acq_rel);\n"
+                     "  }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", "atomic-rmw", {},
+                   "flag_ role=flag orders=release,acquire,acq_rel class=Gate\n"});
+  const char* kTally =
+      "class Tally {\n"
+      " public:\n"
+      "  void hit() { n_++; }\n"
+      "  void add(long k) { n_.fetch_add(k, std::memory_order_relaxed); }\n"
+      "  long total() const { return n_.load(std::memory_order_relaxed); }\n"
+      " private:\n"
+      "  std::atomic<long> n_{0};\n"
+      "};\n";
+  cases.push_back({"atomic-discipline: counter may use operator and RMW forms",
+                   pass_atomic_discipline,
+                   {{"dmcs/tally.hpp", kTally}},
+                   "", "", nullptr, {},
+                   "n_ role=counter orders=relaxed class=Tally\n"});
+  cases.push_back({"atomic-discipline: atomic also GUARDED_BY a mutex",
+                   pass_atomic_discipline,
+                   {{"dmcs/both.hpp",
+                     "class Both {\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "  std::atomic<int> n_ PREMA_GUARDED_BY(mu_){0};\n"
+                     "};\n"}},
+                   "", "", "atomic-guarded", {},
+                   "n_ role=counter orders=seq_cst class=Both\n"});
+  cases.push_back({"atomic-discipline: manifest entry matching no declaration",
+                   pass_atomic_discipline,
+                   {{"dmcs/x.cpp", "void f() { touch(); }\n"}},
+                   "", "", "atomic-stale", {},
+                   "ghost_ role=flag orders=seq_cst\n"});
+  cases.push_back({"atomic-discipline: malformed manifest surfaces as finding",
+                   pass_atomic_discipline,
+                   {{"dmcs/gate.hpp", kGate}},
+                   "", "", "atomic-manifest", {},
+                   "flag_ role=banana orders=seq_cst class=Gate\n"});
+
+  // -- release-acquire ------------------------------------------------------
+  cases.push_back({"release-acquire: store + acquire load pair up",
+                   pass_release_acquire,
+                   {{"dmcs/gate.hpp", kGate}},
+                   "", "", nullptr, {}, kGateManifest});
+  cases.push_back({"release-acquire: release store nobody loads",
+                   pass_release_acquire,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  void open() { flag_.store(true, std::memory_order_release); }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", "release-acquire-unpaired-store", {}, kGateManifest});
+  cases.push_back({"release-acquire: acquire load nobody stores",
+                   pass_release_acquire,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  bool is_open() const {\n"
+                     "    return flag_.load(std::memory_order_acquire);\n"
+                     "  }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", "release-acquire-unpaired-load", {}, kGateManifest});
+  cases.push_back({"release-acquire: an RMW counts as the acquire side",
+                   pass_release_acquire,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  void open() { flag_.store(true, std::memory_order_release); }\n"
+                     "  bool take() {\n"
+                     "    return flag_.exchange(false, std::memory_order_acq_rel);\n"
+                     "  }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", nullptr, {},
+                   "flag_ role=flag orders=release,acquire,acq_rel class=Gate\n"});
+  cases.push_back({"release-acquire: implicit seq_cst load still observes",
+                   pass_release_acquire,
+                   {{"dmcs/gate.hpp",
+                     "class Gate {\n"
+                     " public:\n"
+                     "  void open() { flag_.store(true, std::memory_order_release); }\n"
+                     "  bool peek() const { return flag_.load(); }\n"
+                     " private:\n"
+                     "  std::atomic<bool> flag_{false};\n"
+                     "};\n"}},
+                   "", "", nullptr, {}, kGateManifest});
+
+  // -- mixed-access ---------------------------------------------------------
+  cases.push_back({"mixed-access: locked write, unlocked read in the closure",
+                   pass_mixed_access,
+                   {{"dmcs/pump.hpp",
+                     "class Pump {\n"
+                     " public:\n"
+                     "  void worker_loop() {\n"
+                     "    bump();\n"
+                     "    show();\n"
+                     "  }\n"
+                     "  void bump() PREMA_REQUIRES(mu_) { n_ = n_ + 1; }\n"
+                     "  void show() { use(n_); }\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "  int n_ = 0;\n"
+                     "};\n"}},
+                   "", "", "mixed-access"});
+  cases.push_back({"mixed-access: REQUIRES on the reader is direct evidence",
+                   pass_mixed_access,
+                   {{"dmcs/pump.hpp",
+                     "class Pump {\n"
+                     " public:\n"
+                     "  void worker_loop() {\n"
+                     "    bump();\n"
+                     "    show();\n"
+                     "  }\n"
+                     "  void bump() PREMA_REQUIRES(mu_) { n_ = n_ + 1; }\n"
+                     "  void show() PREMA_REQUIRES(mu_) { use(n_); }\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "  int n_ = 0;\n"
+                     "};\n"}},
+                   "", "", nullptr});
+  cases.push_back({"mixed-access: a lexical guard covers the read",
+                   pass_mixed_access,
+                   {{"dmcs/pump.hpp",
+                     "class Pump {\n"
+                     " public:\n"
+                     "  void worker_loop() {\n"
+                     "    bump();\n"
+                     "    show();\n"
+                     "  }\n"
+                     "  void bump() PREMA_REQUIRES(mu_) { n_ = n_ + 1; }\n"
+                     "  void show() {\n"
+                     "    util::LockGuard g(mu_);\n"
+                     "    use(n_);\n"
+                     "  }\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "  int n_ = 0;\n"
+                     "};\n"}},
+                   "", "", nullptr});
+  cases.push_back({"mixed-access: no thread closure, no second thread",
+                   pass_mixed_access,
+                   {{"dmcs/pump.hpp",
+                     "class Pump {\n"
+                     " public:\n"
+                     "  void run() {\n"
+                     "    bump();\n"
+                     "    show();\n"
+                     "  }\n"
+                     "  void bump() PREMA_REQUIRES(mu_) { n_ = n_ + 1; }\n"
+                     "  void show() { use(n_); }\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "  int n_ = 0;\n"
+                     "};\n"}},
+                   "", "", nullptr});
+  cases.push_back({"mixed-access: stamping a value object is per-object state",
+                   pass_mixed_access,
+                   {{"dmcs/pump.hpp",
+                     "class Msg {\n"
+                     " public:\n"
+                     "  int seq = 0;\n"
+                     "};\n"
+                     "class Pump {\n"
+                     " public:\n"
+                     "  void worker_loop() {\n"
+                     "    Msg m;\n"
+                     "    stamp(m);\n"
+                     "    look(m);\n"
+                     "  }\n"
+                     "  void stamp(Msg& m) PREMA_REQUIRES(mu_) { m.seq = 1; }\n"
+                     "  void look(Msg& m) { use(m.seq); }\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "};\n"}},
+                   "", "", nullptr});
+  cases.push_back({"mixed-access: allow-comment marks a reviewed read",
+                   pass_mixed_access,
+                   {{"dmcs/pump.hpp",
+                     "class Pump {\n"
+                     " public:\n"
+                     "  void worker_loop() {\n"
+                     "    bump();\n"
+                     "    show();\n"
+                     "  }\n"
+                     "  void bump() PREMA_REQUIRES(mu_) { n_ = n_ + 1; }\n"
+                     "  void show() {\n"
+                     "    // analyze:allow(mixed-access)\n"
+                     "    use(n_);\n"
+                     "  }\n"
+                     " private:\n"
+                     "  util::Mutex mu_;\n"
+                     "  int n_ = 0;\n"
+                     "};\n"}},
+                   "", "", nullptr});
+
   return cases;
 }
 
@@ -400,6 +677,7 @@ bool run_tree_case(const TreeCase& c) {
   Options opts;
   opts.hierarchy_text = c.hierarchy;
   opts.design_text = c.design;
+  opts.atomics_text = c.atomics;
   for (const auto& [name, text] : c.protocols) {
     opts.protocol_specs.emplace_back(name, text);
   }
@@ -489,17 +767,82 @@ int spec_parser_checks(std::size_t& cases_out) {
   return failures;
 }
 
-/// Full-pipeline time budget: all passes over a synthetic tree an order of
-/// magnitude larger than src/ must finish comfortably within CI tolerances,
-/// so quadratic blowups in the index or the interprocedural passes fail the
-/// suite rather than silently slowing every CI run.
-int perf_budget_check(std::size_t& cases_out) {
+/// Manifest parser checks: the atomics.txt grammar round-trips, every
+/// malformed spelling fails loudly with an atomic-manifest finding, and line
+/// numbers survive for the stale-entry and error anchors.
+int atomics_manifest_checks(std::size_t& cases_out) {
+  int failures = 0;
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "self-test FAIL: atomics manifest: %s\n", what);
+    ++failures;
+  };
+
   ++cases_out;
+  {
+    std::vector<Finding> errs;
+    const std::vector<AtomicEntry> entries = parse_atomics_manifest(
+        "atomics.txt",
+        "# reviewed inventory\n"
+        "done_ role=flag orders=release,acquire class=TM file=dmcs/\n"
+        "hits role=counter orders=relaxed,seq_cst  # trailing comment\n",
+        errs);
+    if (!errs.empty() || entries.size() != 2) {
+      fail("well-formed manifest rejected");
+    } else if (entries[0].name != "done_" || entries[0].role != "flag" ||
+               entries[0].orders != std::set<std::string>{"acquire",
+                                                          "release"} ||
+               entries[0].cls != "TM" || entries[0].path != "dmcs/" ||
+               entries[0].line != 2) {
+      fail("fully-qualified entry misparsed");
+    } else if (entries[1].name != "hits" || entries[1].role != "counter" ||
+               entries[1].orders != std::set<std::string>{"relaxed",
+                                                          "seq_cst"} ||
+               !entries[1].cls.empty() || !entries[1].path.empty() ||
+               entries[1].line != 3) {
+      fail("minimal entry misparsed");
+    }
+  }
+
+  // Each malformed input must produce at least one atomic-manifest error
+  // anchored in the manifest itself.
+  const char* kBad[] = {
+      "done_ orders=seq_cst\n",                     // no role=
+      "done_ role=banana orders=seq_cst\n",         // unknown role
+      "done_ role=flag orders=wibbly\n",            // unknown memory order
+      "done_ role=flag orders=seq_cst reviewed\n",  // attr is not key=value
+      "done_ role=flag orders=seq_cst\n"
+      "done_ role=flag orders=seq_cst\n",           // duplicate entry
+  };
+  for (const char* text : kBad) {
+    ++cases_out;
+    std::vector<Finding> errs;
+    parse_atomics_manifest("atomics.txt", text, errs);
+    if (errs.empty()) {
+      std::fprintf(stderr, "self-test FAIL: manifest parser accepted:\n%s",
+                   text);
+      ++failures;
+      continue;
+    }
+    for (const Finding& e : errs) {
+      if (e.rule != "atomic-manifest" || e.file != "atomics.txt" ||
+          e.line < 1) {
+        fail("error finding has wrong rule, file or line");
+        break;
+      }
+    }
+  }
+  return failures;
+}
+
+/// The shared synthetic workload: `nfiles` generated classes, `nfuncs`
+/// locked methods and as many guarded fields each, with an intra-class call
+/// chain so the interprocedural passes have real work per file.
+Tree synthetic_tree(int nfiles, int nfuncs = 8) {
   Tree tree;
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < nfiles; ++i) {
     std::string code;
     code += "class C" + std::to_string(i) + " {\n public:\n";
-    for (int j = 0; j < 8; ++j) {
+    for (int j = 0; j < nfuncs; ++j) {
       const std::string fn = "f" + std::to_string(i) + "_" + std::to_string(j);
       code += "  void " + fn + "(N* n) PREMA_REQUIRES(mu_) {\n";
       code += "    util::LockGuard g(mu_);\n";
@@ -512,7 +855,7 @@ int perf_budget_check(std::size_t& cases_out) {
       code += "  }\n";
     }
     code += " private:\n  util::Mutex mu_;\n";
-    for (int j = 0; j < 8; ++j) {
+    for (int j = 0; j < nfuncs; ++j) {
       code += "  double v" + std::to_string(j) +
               "_ PREMA_GUARDED_BY(mu_) = 0.0;\n";
     }
@@ -520,6 +863,16 @@ int perf_budget_check(std::size_t& cases_out) {
     tree.files.push_back(
         make_file("gen/c" + std::to_string(i) + ".hpp", std::move(code)));
   }
+  return tree;
+}
+
+/// Full-pipeline time budget: all passes over a synthetic tree an order of
+/// magnitude larger than src/ must finish comfortably within CI tolerances,
+/// so quadratic blowups in the index or the interprocedural passes fail the
+/// suite rather than silently slowing every CI run.
+int perf_budget_check(std::size_t& cases_out) {
+  ++cases_out;
+  const Tree tree = synthetic_tree(200);
   Options opts;
   opts.hierarchy_text = "mu mu recursive\n";
   Findings out;
@@ -537,6 +890,133 @@ int perf_budget_check(std::size_t& cases_out) {
     return 1;
   }
   return 0;
+}
+
+/// Engine checks: parallel runs are byte-identical to serial ones, the
+/// on-disk cache answers unchanged work and re-runs touched work, and the
+/// thread pool actually buys wall time on the per-file shards.
+int engine_checks(std::size_t& cases_out) {
+  int failures = 0;
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "self-test FAIL: engine: %s\n", what);
+    ++failures;
+  };
+  const auto same = [](const Findings& a, const Findings& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].rule != b[i].rule || a[i].file != b[i].file ||
+          a[i].line != b[i].line || a[i].message != b[i].message) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // A tree that fires both per-file findings (conventions: determinism) and
+  // whole-tree findings (sim-purity: wallclock) across many files, so slot
+  // ordering and the cache have something real to preserve.
+  const auto seeded_file = [](int i, const char* suffix) {
+    return "void f" + std::to_string(i) + "() {\n" +
+           "  auto t = std::chrono::steady_clock::now();\n" + "}\n" + suffix;
+  };
+  Tree tree;
+  for (int i = 0; i < 12; ++i) {
+    tree.files.push_back(
+        make_file("ilb/f" + std::to_string(i) + ".cpp", seeded_file(i, "")));
+  }
+  const Options opts;
+
+  ++cases_out;
+  {
+    Findings serial, parallel;
+    EngineOptions e1;
+    e1.jobs = 1;
+    EngineOptions e4;
+    e4.jobs = 4;
+    run_engine(tree, opts, e1, serial);
+    run_engine(tree, opts, e4, parallel);
+    if (serial.empty()) fail("seeded tree produced no findings");
+    if (!same(serial, parallel)) {
+      fail("--jobs 4 output diverges from --jobs 1");
+    }
+  }
+
+  ++cases_out;
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path dir =
+        fs::temp_directory_path(ec) / "prema_analyze_selftest_cache";
+    fs::remove_all(dir, ec);
+    EngineOptions eng;
+    eng.jobs = 1;
+    eng.cache_dir = dir.string();
+    Findings cold, warm, touched;
+    EngineStats s_cold, s_warm, s_touch;
+    run_engine(tree, opts, eng, cold, &s_cold);
+    run_engine(tree, opts, eng, warm, &s_warm);
+    if (s_cold.cache_hits != 0 || s_cold.cache_misses == 0) {
+      fail("cold run should miss on every task");
+    }
+    if (s_warm.cache_misses != 0 || s_warm.cache_hits != s_cold.cache_misses) {
+      fail("warm run should answer every task from the cache");
+    }
+    if (!same(cold, warm)) fail("cached findings diverge from computed ones");
+
+    // Touch one file: per-file work for the other files must still hit,
+    // per-file work for the touched file and the tree-keyed passes must not.
+    Tree tree2 = tree;
+    tree2.files[0] = make_file("ilb/f0.cpp", seeded_file(0, "// touched\n"));
+    run_engine(tree2, opts, eng, touched, &s_touch);
+    if (s_touch.cache_hits == 0 || s_touch.cache_misses == 0) {
+      fail("touching one file should re-run some tasks and reuse the rest");
+    }
+    if (!same(cold, touched)) {
+      fail("an appended comment changed the findings");
+    }
+    fs::remove_all(dir, ec);
+  }
+
+  // Scaling: the per-file shards (conventions + time-domain over the
+  // 200-class synthetic tree) must run at least 2x faster on the pool than
+  // single-threaded. Asserted on the engine's own wall_ms, warm-up plus
+  // best-of-3, and skipped below four cores where the headroom isn't there.
+  ++cases_out;
+  {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const Tree big = synthetic_tree(200, 128);
+    const auto best_of_3 = [&](int jobs) {
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        EngineOptions eng;
+        eng.jobs = jobs;
+        eng.passes = {"conventions", "time-domain"};
+        Findings out;
+        EngineStats stats;
+        run_engine(big, opts, eng, out, &stats);
+        if (rep == 0 || stats.wall_ms < best) best = stats.wall_ms;
+      }
+      return best;
+    };
+    best_of_3(1);  // warm-up: fault in the tree and the allocator
+    const double serial_ms = best_of_3(1);
+    if (hw < 4) {
+      std::printf(
+          "prema_analyze --self-test: engine speedup SKIP "
+          "(%u core(s), need 4; jobs 1: %.1f ms)\n",
+          hw, serial_ms);
+    } else {
+      const double pool_ms = best_of_3(static_cast<int>(hw));
+      std::printf(
+          "prema_analyze --self-test: engine speedup %.1fx "
+          "(jobs 1: %.1f ms, jobs %u: %.1f ms)\n",
+          pool_ms > 0 ? serial_ms / pool_ms : 0.0, serial_ms, hw, pool_ms);
+      if (pool_ms * 2.0 > serial_ms) {
+        fail("per-file shards under 2x speedup on the thread pool");
+      }
+    }
+  }
+  return failures;
 }
 
 /// Report-layer checks: baseline round-trip and SARIF shape.
@@ -577,7 +1057,9 @@ int run_self_test() {
     if (!run_tree_case(c)) ++failures;
   }
   failures += spec_parser_checks(cases);
+  failures += atomics_manifest_checks(cases);
   failures += perf_budget_check(cases);
+  failures += engine_checks(cases);
   failures += report_checks(cases);
 
   // The migrated prema_lint snippets are part of this binary's contract too.
